@@ -1,0 +1,106 @@
+//! Reed–Solomon / XOR encoding throughput — the measured counterpart of
+//! Fig. 3b's encoding-time axis and the XOR-vs-RS complexity contrast of
+//! §II-B1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcft_erasure::{ReedSolomon, XorCode};
+use std::hint::black_box;
+
+fn shards(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|b| ((i * 31 + b * 7) % 251) as u8).collect())
+        .collect()
+}
+
+/// RS(s, s) encode for the paper's cluster sizes. Total moved bytes per
+/// iteration = s × shard, so reported throughput is per unit of
+/// checkpoint data.
+fn bench_rs_encode(c: &mut Criterion) {
+    let shard = 1 << 20;
+    let mut g = c.benchmark_group("rs_encode_per_cluster_size");
+    for size in [4usize, 8, 16, 32] {
+        let data = shards(size, shard);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let rs = ReedSolomon::new(size, size);
+        g.throughput(Throughput::Bytes((size * shard) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(rs.encode(black_box(&refs))));
+        });
+    }
+    g.finish();
+}
+
+/// Reconstruction cost after losing half the cluster's nodes.
+fn bench_rs_reconstruct(c: &mut Criterion) {
+    let shard = 1 << 18;
+    let mut g = c.benchmark_group("rs_reconstruct_half_lost");
+    for size in [4usize, 8, 16] {
+        let data = shards(size, shard);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let rs = ReedSolomon::new(size, size);
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut work: Vec<Option<Vec<u8>>> =
+                    full.iter().cloned().map(Some).collect();
+                for i in 0..size / 2 {
+                    work[i] = None; // data shard
+                    work[size + size / 2 + i] = None; // someone's parity
+                }
+                rs.reconstruct(&mut work).expect("within tolerance");
+                black_box(work);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// XOR single-parity encode — FTI's cheap level, for the complexity
+/// contrast.
+fn bench_xor_encode(c: &mut Criterion) {
+    let shard = 1 << 20;
+    let mut g = c.benchmark_group("xor_encode");
+    for size in [4usize, 16] {
+        let data = shards(size, shard);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let code = XorCode::new(size);
+        g.throughput(Throughput::Bytes((size * shard) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(code.encode(black_box(&refs))));
+        });
+    }
+    g.finish();
+}
+
+/// The raw GF(256) multiply-accumulate kernel.
+fn bench_gf256_mul_acc(c: &mut Criterion) {
+    let src = vec![0xA7u8; 1 << 20];
+    let mut dst = vec![0u8; 1 << 20];
+    let mut g = c.benchmark_group("gf256_mul_acc");
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("1MiB", |b| {
+        b.iter(|| {
+            hcft_erasure::gf256::mul_acc(black_box(&mut dst), black_box(&src), 0x37);
+        });
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_rs_encode,
+    bench_rs_reconstruct,
+    bench_xor_encode,
+    bench_gf256_mul_acc
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Fault-tolerance stack benchmarks: multilevel checkpoint + recovery on
+//! real files, reliability estimators, and the evaluator pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer};
+use hcft_cluster::{distributed, naive, Evaluator};
+use hcft_graph::{Clustering, CommMatrix};
+use hcft_reliability::model::fti_tolerance;
+use hcft_reliability::{EventDistribution, ReliabilityModel};
+use hcft_topology::{NodeId, Placement};
+use std::hint::black_box;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("hcft-ftbench-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&p).expect("temp dir");
+    p
+}
+
+/// Encoded checkpoint of 16 ranks × 256 KiB over 4 distributed groups.
+fn bench_checkpoint_encoded(c: &mut Criterion) {
+    let dir = temp_dir("ckpt");
+    let placement = Placement::block(4, 4);
+    let groups = Clustering::from_assignment(&(0..16).map(|r| r % 4).collect::<Vec<_>>());
+    let store = CheckpointStore::create(&dir, 4).expect("store");
+    let ml = MultilevelCheckpointer::new(store, groups, placement);
+    let payloads: Vec<Vec<u8>> = (0..16)
+        .map(|r| (0..1 << 18).map(|b| ((r * 31 + b) % 251) as u8).collect())
+        .collect();
+    let mut g = c.benchmark_group("multilevel_checkpoint");
+    g.sample_size(10);
+    let mut epoch = 0u64;
+    g.bench_function("encoded_16x256KiB", |b| {
+        b.iter(|| {
+            epoch += 1;
+            ml.checkpoint(epoch, Level::Encoded, black_box(&payloads))
+                .expect("ckpt");
+        });
+    });
+    g.bench_function("recover_after_node_loss", |b| {
+        b.iter(|| {
+            epoch += 1;
+            ml.checkpoint(epoch, Level::Encoded, &payloads).expect("ckpt");
+            ml.store().fail_node(NodeId(2)).expect("kill");
+            black_box(ml.recover(epoch).expect("rebuild"));
+        });
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Catastrophic-probability estimators: closed-form vs Monte Carlo.
+fn bench_reliability(c: &mut Criterion) {
+    let nodes = 64;
+    let placement = Placement::block(nodes, 16);
+    let dist = distributed(&placement, 16).l2;
+    let model = ReliabilityModel::new(nodes, EventDistribution::fti_calibrated());
+    let mut g = c.benchmark_group("reliability");
+    g.bench_function("analytic_p_catastrophic", |b| {
+        b.iter(|| black_box(model.p_catastrophic(&dist, &placement, &fti_tolerance)));
+    });
+    g.sample_size(10);
+    g.bench_function("monte_carlo_q3_100k", |b| {
+        b.iter(|| {
+            black_box(model.q_given_j_monte_carlo(
+                3,
+                &dist,
+                &placement,
+                &fti_tolerance,
+                100_000,
+                7,
+            ))
+        });
+    });
+    g.finish();
+}
+
+/// The whole 4-D evaluation of one scheme over a 1024-rank matrix.
+fn bench_evaluator(c: &mut Criterion) {
+    let placement = Placement::block(64, 16);
+    let mut m = CommMatrix::new(1024);
+    for r in 0..1024usize {
+        m.add(r, (r + 1) % 1024, 100_000);
+        m.add(r, (r + 512) % 1024, 1_000);
+    }
+    let evaluator = Evaluator::new(m, placement);
+    let mut g = c.benchmark_group("evaluator_1024_ranks");
+    for size in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| black_box(evaluator.evaluate(&naive(1024, size))));
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_checkpoint_encoded,
+    bench_reliability,
+    bench_evaluator
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Partitioner benchmarks: the two L1 engines on node graphs of
+//! increasing size, plus the clustering strategies themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcft_cluster::{distributed, hierarchical, naive, HierarchicalConfig, PartitionEngine};
+use hcft_graph::{CommMatrix, WeightedGraph};
+use hcft_partition::{modularity_clusters, MultilevelConfig, MultilevelPartitioner, SizeBounds};
+use hcft_topology::Placement;
+use std::hint::black_box;
+
+/// Ladder node graph like a 2-row stencil's node graph.
+fn ladder(nodes: usize) -> WeightedGraph {
+    let mut m = CommMatrix::new(nodes);
+    for n in 0..nodes - 1 {
+        m.add(n, n + 1, 10_000);
+        m.add(n + 1, n, 10_000);
+    }
+    for n in 0..nodes.saturating_sub(2) {
+        m.add(n, n + 2, 500);
+        m.add(n + 2, n, 500);
+    }
+    WeightedGraph::from_comm_matrix(&m)
+}
+
+fn bench_multilevel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multilevel_partition");
+    for nodes in [64usize, 256, 1024] {
+        let graph = ladder(nodes);
+        let k = nodes / 4;
+        let cfg = MultilevelConfig::new(k, SizeBounds::new(4, 4));
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                black_box(MultilevelPartitioner::new(cfg.clone()).partition(black_box(&graph)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_modularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modularity_clusters");
+    for nodes in [64usize, 128] {
+        let graph = ladder(nodes);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(modularity_clusters(black_box(&graph), SizeBounds::new(4, 8))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let placement = Placement::block(64, 16);
+    let graph = ladder(64);
+    let mut g = c.benchmark_group("clustering_strategies_1024_ranks");
+    g.bench_function("naive_32", |b| {
+        b.iter(|| black_box(naive(1024, 32)));
+    });
+    g.bench_function("distributed_16", |b| {
+        b.iter(|| black_box(distributed(&placement, 16)));
+    });
+    for engine in [PartitionEngine::Multilevel, PartitionEngine::Modularity] {
+        let cfg = HierarchicalConfig {
+            min_nodes_per_l1: 4,
+            max_nodes_per_l1: 4,
+            l2_group_nodes: 4,
+            engine,
+        };
+        g.bench_function(format!("hierarchical_{engine:?}"), |b| {
+            b.iter(|| black_box(hierarchical(&placement, &graph, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_multilevel, bench_modularity, bench_strategies
+}
+criterion_main!(benches);

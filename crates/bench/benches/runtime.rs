@@ -1,0 +1,74 @@
+//! Runtime benchmarks: collective algorithms and the traced stencil.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcft_simmpi::World;
+use hcft_tsunami::{TsunamiParams, TsunamiSim};
+use std::hint::black_box;
+
+/// Allgather algorithms at a power-of-two and a Bruck size.
+fn bench_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather_64B_per_rank");
+    g.sample_size(10);
+    for &(label, n) in &[("recursive_doubling_32", 32usize), ("bruck_33", 33)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+            b.iter(|| {
+                let r = World::run(n, |c| c.allgather(&[c.rank() as u64; 8]));
+                black_box(r.outputs.len())
+            });
+        });
+    }
+    g.bench_function("ring_32", |b| {
+        b.iter(|| {
+            let r = World::run(32, |c| c.allgather_ring(&[c.rank() as u64; 8]));
+            black_box(r.outputs.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_1KiB");
+    g.sample_size(10);
+    for n in [16usize, 48] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let r = World::run(n, |c| c.allreduce_sum(&[c.rank() as f64; 128]));
+                black_box(r.outputs.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The tsunami workload under the threaded runtime (traced), per step.
+fn bench_tsunami(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsunami_10_steps");
+    g.sample_size(10);
+    for ranks in [16usize, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                let r = World::run(n, |c| {
+                    let mut sim = TsunamiSim::new(c, TsunamiParams::stable(128, 128));
+                    sim.run(10);
+                    sim.local_energy()
+                });
+                black_box(r.outputs.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_allgather, bench_allreduce, bench_tsunami
+}
+criterion_main!(benches);

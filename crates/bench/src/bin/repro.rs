@@ -1,0 +1,100 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale paper|small] [--out DIR] <artifact>...
+//!
+//! artifacts: table1 table2 fig3a fig3b fig4a fig4b fig4c
+//!            fig5a fig5b fig5c scaling all
+//! ```
+//!
+//! `--scale paper` runs the full 1088-rank configuration of §V (64 nodes
+//! × 16 application ranks + 64 FTI encoder ranks); `--scale small`
+//! (default) runs a structurally identical 144-rank job in seconds.
+//! Reports print to stdout; CSV series land under `--out` (default
+//! `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hcft_bench::figures;
+use hcft_bench::harness::{Artifact, Scale};
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
+    "scaling", "efficiency", "alltoall", "ablation", "campaign", "heat3d", "logmem", "simtime",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--scale paper|small] [--out DIR] <artifact>...\n\
+         artifacts: {} all",
+        ALL.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut out = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next().and_then(|v| Scale::parse(&v)) else {
+                    return usage();
+                };
+                scale = v;
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    return usage();
+                };
+                out = PathBuf::from(v);
+            }
+            "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            a if ALL.contains(&a) => wanted.push(a.to_string()),
+            _ => return usage(),
+        }
+    }
+    if wanted.is_empty() {
+        return usage();
+    }
+    for id in &wanted {
+        let artifact: Artifact = match id.as_str() {
+            "table1" => figures::table1(),
+            "table2" => figures::table2(scale),
+            "fig3a" => figures::fig3a(scale),
+            "fig3b" => figures::fig3b(scale),
+            "fig4a" => figures::fig4a(),
+            "fig4b" => figures::fig4b(scale),
+            "fig4c" => figures::fig4c(),
+            "fig5a" => figures::fig5a(scale),
+            "fig5b" => figures::fig5b(scale),
+            "fig5c" => figures::fig5c(scale),
+            "scaling" => figures::scaling(scale),
+            "efficiency" => figures::efficiency(scale),
+            "alltoall" => figures::alltoall(scale),
+            "ablation" => figures::ablation(scale),
+            "campaign" => figures::campaign(scale),
+            "heat3d" => figures::heat3d(scale),
+            "logmem" => figures::logmem(scale),
+            "simtime" => figures::simtime(scale),
+            _ => unreachable!("validated above"),
+        };
+        println!("\n================= {} =================\n", artifact.id);
+        println!("{}", artifact.report);
+        match artifact.persist(&out) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("[csv] {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to write CSVs for {}: {e}", artifact.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

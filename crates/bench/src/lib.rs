@@ -1,0 +1,14 @@
+//! Benchmark & reproduction harness.
+//!
+//! The `repro` binary (this crate's `src/bin/repro.rs`) regenerates every
+//! table and figure of the paper's evaluation; the Criterion benches
+//! measure the real implementations (Reed–Solomon throughput, partitioner
+//! speed, collective algorithms, reliability estimators) next to the
+//! calibrated models.
+//!
+//! [`figures`] holds one function per paper artefact, each returning a
+//! printable report plus CSV series; [`harness`] holds the shared
+//! machinery (scales, trace caching, CSV writing).
+
+pub mod figures;
+pub mod harness;

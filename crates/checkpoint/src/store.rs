@@ -1,0 +1,383 @@
+//! On-disk checkpoint store with per-node directories.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! root/
+//!   nodes/node_<n>/rank_<r>_epoch_<e>.ckpt       local checkpoints
+//!   nodes/node_<n>/group_<g>_epoch_<e>.parity    colocated parity shard
+//!   nodes/node_<n>/group_<g>_epoch_<e>.meta      padded shard length
+//!   pfs/rank_<r>_epoch_<e>.ckpt                  level-3 checkpoints
+//! ```
+//!
+//! "Killing" a node is deleting its directory — the exact failure the
+//! erasure level must survive.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hcft_topology::NodeId;
+
+/// Directory-backed checkpoint store.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    root: PathBuf,
+    nodes: usize,
+}
+
+impl CheckpointStore {
+    /// Create (or reuse) a store rooted at `root` for `nodes` nodes.
+    pub fn create(root: impl Into<PathBuf>, nodes: usize) -> io::Result<Self> {
+        let root = root.into();
+        for n in 0..nodes {
+            fs::create_dir_all(root.join(format!("nodes/node_{n}")))?;
+        }
+        fs::create_dir_all(root.join("pfs"))?;
+        Ok(CheckpointStore { root, nodes })
+    }
+
+    /// Number of node directories.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Root path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn node_dir(&self, node: NodeId) -> PathBuf {
+        self.root.join(format!("nodes/node_{node}"))
+    }
+
+    fn local_path(&self, node: NodeId, rank: usize, epoch: u64) -> PathBuf {
+        self.node_dir(node)
+            .join(format!("rank_{rank}_epoch_{epoch}.ckpt"))
+    }
+
+    fn partner_path(&self, node: NodeId, rank: usize, epoch: u64) -> PathBuf {
+        self.node_dir(node)
+            .join(format!("partner_rank_{rank}_epoch_{epoch}.ckpt"))
+    }
+
+    fn xor_path(&self, node: NodeId, group: usize, epoch: u64) -> PathBuf {
+        self.node_dir(node)
+            .join(format!("group_{group}_epoch_{epoch}.xor"))
+    }
+
+    fn parity_path(&self, node: NodeId, group: usize, epoch: u64) -> PathBuf {
+        self.node_dir(node)
+            .join(format!("group_{group}_epoch_{epoch}.parity"))
+    }
+
+    fn meta_path(&self, node: NodeId, group: usize, epoch: u64) -> PathBuf {
+        self.node_dir(node)
+            .join(format!("group_{group}_epoch_{epoch}.meta"))
+    }
+
+    fn pfs_path(&self, rank: usize, epoch: u64) -> PathBuf {
+        self.root.join(format!("pfs/rank_{rank}_epoch_{epoch}.ckpt"))
+    }
+
+    /// Write a rank's local checkpoint onto its node.
+    pub fn write_local(
+        &self,
+        node: NodeId,
+        rank: usize,
+        epoch: u64,
+        data: &[u8],
+    ) -> io::Result<()> {
+        fs::write(self.local_path(node, rank, epoch), data)
+    }
+
+    /// Read a rank's local checkpoint (error if the node lost it).
+    pub fn read_local(&self, node: NodeId, rank: usize, epoch: u64) -> io::Result<Vec<u8>> {
+        fs::read(self.local_path(node, rank, epoch))
+    }
+
+    /// Write the partner copy of `rank`'s checkpoint held by `node`.
+    pub fn write_partner(
+        &self,
+        node: NodeId,
+        rank: usize,
+        epoch: u64,
+        data: &[u8],
+    ) -> io::Result<()> {
+        fs::write(self.partner_path(node, rank, epoch), data)
+    }
+
+    /// Read the partner copy of `rank`'s checkpoint from `node`.
+    pub fn read_partner(&self, node: NodeId, rank: usize, epoch: u64) -> io::Result<Vec<u8>> {
+        fs::read(self.partner_path(node, rank, epoch))
+    }
+
+    /// Write a replica of a group's XOR parity onto `node`.
+    pub fn write_xor(
+        &self,
+        node: NodeId,
+        group: usize,
+        epoch: u64,
+        data: &[u8],
+    ) -> io::Result<()> {
+        fs::write(self.xor_path(node, group, epoch), data)
+    }
+
+    /// Read a group's XOR parity replica from `node`.
+    pub fn read_xor(&self, node: NodeId, group: usize, epoch: u64) -> io::Result<Vec<u8>> {
+        fs::read(self.xor_path(node, group, epoch))
+    }
+
+    /// Write the parity shard a node holds for its encoding group.
+    pub fn write_parity(
+        &self,
+        node: NodeId,
+        group: usize,
+        epoch: u64,
+        data: &[u8],
+    ) -> io::Result<()> {
+        fs::write(self.parity_path(node, group, epoch), data)
+    }
+
+    /// Read a node's parity shard for a group.
+    pub fn read_parity(&self, node: NodeId, group: usize, epoch: u64) -> io::Result<Vec<u8>> {
+        fs::read(self.parity_path(node, group, epoch))
+    }
+
+    /// Record the padded shard length for a group's epoch on a node
+    /// (replicated with each member so any survivor can describe the
+    /// group geometry).
+    pub fn write_meta(
+        &self,
+        node: NodeId,
+        group: usize,
+        epoch: u64,
+        padded_len: u64,
+    ) -> io::Result<()> {
+        fs::write(self.meta_path(node, group, epoch), padded_len.to_le_bytes())
+    }
+
+    /// Read a group's padded shard length from a surviving node.
+    pub fn read_meta(&self, node: NodeId, group: usize, epoch: u64) -> io::Result<u64> {
+        let bytes = fs::read(self.meta_path(node, group, epoch))?;
+        let arr: [u8; 8] = bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad meta file"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Write a level-3 (PFS) checkpoint.
+    pub fn write_pfs(&self, rank: usize, epoch: u64, data: &[u8]) -> io::Result<()> {
+        fs::write(self.pfs_path(rank, epoch), data)
+    }
+
+    /// Read a level-3 checkpoint.
+    pub fn read_pfs(&self, rank: usize, epoch: u64) -> io::Result<Vec<u8>> {
+        fs::read(self.pfs_path(rank, epoch))
+    }
+
+    /// Simulate the hard failure of a node: all its local data vanishes.
+    /// The directory is recreated empty (the replacement node).
+    pub fn fail_node(&self, node: NodeId) -> io::Result<()> {
+        let dir = self.node_dir(node);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        fs::create_dir_all(&dir)
+    }
+
+    /// Does this rank's local checkpoint exist?
+    pub fn has_local(&self, node: NodeId, rank: usize, epoch: u64) -> bool {
+        self.local_path(node, rank, epoch).exists()
+    }
+
+    /// Bytes stored on one node (local + parity + meta).
+    pub fn node_bytes(&self, node: NodeId) -> io::Result<u64> {
+        let mut total = 0;
+        for entry in fs::read_dir(self.node_dir(node))? {
+            total += entry?.metadata()?.len();
+        }
+        Ok(total)
+    }
+
+    /// Delete all artefacts of epochs older than `epoch` (garbage
+    /// collection after a successful newer checkpoint).
+    pub fn prune_before(&self, epoch: u64) -> io::Result<()> {
+        let parse_epoch = |name: &str| -> Option<u64> {
+            name.rsplit_once("epoch_")?
+                .1
+                .split('.')
+                .next()?
+                .parse()
+                .ok()
+        };
+        let mut dirs: Vec<PathBuf> = (0..self.nodes)
+            .map(|n| self.node_dir(NodeId::from(n)))
+            .collect();
+        dirs.push(self.root.join("pfs"));
+        for dir in dirs {
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(e) = parse_epoch(&name) {
+                    if e < epoch {
+                        fs::remove_file(entry.path())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    fn temp_store(nodes: usize) -> (tempdir::TempDir, CheckpointStore) {
+        let dir = tempdir::TempDir::new();
+        let store = CheckpointStore::create(dir.path(), nodes).expect("create store");
+        (dir, store)
+    }
+
+    /// Minimal self-cleaning temp dir (std-only).
+    pub(crate) mod tempdir {
+        use std::path::{Path, PathBuf};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempDir(PathBuf);
+
+        impl TempDir {
+            #[allow(clippy::new_without_default)]
+            pub fn new() -> Self {
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let path = std::env::temp_dir().join(format!(
+                    "hcft-store-test-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&path).expect("mk temp dir");
+                TempDir(path)
+            }
+
+            pub fn path(&self) -> &Path {
+                &self.0
+            }
+        }
+
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn local_roundtrip() {
+        let (_d, s) = temp_store(2);
+        s.write_local(hcft_topology::NodeId(1), 5, 3, b"hello").expect("write");
+        assert_eq!(
+            s.read_local(hcft_topology::NodeId(1), 5, 3).expect("read"),
+            b"hello"
+        );
+        assert!(s.has_local(hcft_topology::NodeId(1), 5, 3));
+        assert!(!s.has_local(hcft_topology::NodeId(0), 5, 3));
+    }
+
+    #[test]
+    fn fail_node_destroys_its_data_only() {
+        let (_d, s) = temp_store(2);
+        let (n0, n1) = (hcft_topology::NodeId(0), hcft_topology::NodeId(1));
+        s.write_local(n0, 0, 1, b"a").expect("write");
+        s.write_local(n1, 1, 1, b"b").expect("write");
+        s.fail_node(n0).expect("fail");
+        assert!(s.read_local(n0, 0, 1).is_err());
+        assert_eq!(s.read_local(n1, 1, 1).expect("survives"), b"b");
+    }
+
+    #[test]
+    fn parity_and_meta_roundtrip() {
+        let (_d, s) = temp_store(1);
+        let n = hcft_topology::NodeId(0);
+        s.write_parity(n, 7, 2, &[1, 2, 3]).expect("parity");
+        s.write_meta(n, 7, 2, 999).expect("meta");
+        assert_eq!(s.read_parity(n, 7, 2).expect("read"), vec![1, 2, 3]);
+        assert_eq!(s.read_meta(n, 7, 2).expect("read"), 999);
+    }
+
+    #[test]
+    fn pfs_survives_node_failure() {
+        let (_d, s) = temp_store(1);
+        s.write_pfs(3, 9, b"deep").expect("pfs");
+        s.fail_node(hcft_topology::NodeId(0)).expect("fail");
+        assert_eq!(s.read_pfs(3, 9).expect("read"), b"deep");
+    }
+
+    #[test]
+    fn prune_removes_only_old_epochs() {
+        let (_d, s) = temp_store(1);
+        let n = hcft_topology::NodeId(0);
+        s.write_local(n, 0, 1, b"old").expect("write");
+        s.write_local(n, 0, 5, b"new").expect("write");
+        s.write_pfs(0, 1, b"old").expect("pfs");
+        s.prune_before(5).expect("prune");
+        assert!(s.read_local(n, 0, 1).is_err());
+        assert!(s.read_pfs(0, 1).is_err());
+        assert_eq!(s.read_local(n, 0, 5).expect("kept"), b"new");
+    }
+
+    #[test]
+    fn node_bytes_accounts_files() {
+        let (_d, s) = temp_store(1);
+        let n = hcft_topology::NodeId(0);
+        s.write_local(n, 0, 0, &[0u8; 100]).expect("write");
+        s.write_parity(n, 0, 0, &[0u8; 50]).expect("parity");
+        assert_eq!(s.node_bytes(n).expect("size"), 150);
+    }
+}
+
+#[cfg(test)]
+mod partner_xor_tests {
+    use super::*;
+    use hcft_topology::NodeId;
+
+    fn store() -> (tests::tempdir::TempDir, CheckpointStore) {
+        let dir = tests::tempdir::TempDir::new();
+        let s = CheckpointStore::create(dir.path(), 2).expect("store");
+        (dir, s)
+    }
+
+    #[test]
+    fn partner_copy_roundtrip_and_isolation() {
+        let (_d, s) = store();
+        s.write_partner(NodeId(1), 3, 9, b"copy").expect("write");
+        assert_eq!(s.read_partner(NodeId(1), 3, 9).expect("read"), b"copy");
+        // The copy is independent of the local file namespace.
+        assert!(s.read_local(NodeId(1), 3, 9).is_err());
+        s.fail_node(NodeId(1)).expect("kill");
+        assert!(s.read_partner(NodeId(1), 3, 9).is_err());
+    }
+
+    #[test]
+    fn xor_replica_roundtrip() {
+        let (_d, s) = store();
+        s.write_xor(NodeId(0), 7, 2, &[1, 2, 3]).expect("write");
+        s.write_xor(NodeId(1), 7, 2, &[1, 2, 3]).expect("write");
+        s.fail_node(NodeId(0)).expect("kill");
+        assert_eq!(s.read_xor(NodeId(1), 7, 2).expect("replica"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn prune_covers_partner_and_xor_files() {
+        let (_d, s) = store();
+        s.write_partner(NodeId(0), 0, 1, b"old").expect("write");
+        s.write_xor(NodeId(0), 0, 1, b"old").expect("write");
+        s.write_partner(NodeId(0), 0, 3, b"new").expect("write");
+        s.prune_before(2).expect("prune");
+        assert!(s.read_partner(NodeId(0), 0, 1).is_err());
+        assert!(s.read_xor(NodeId(0), 0, 1).is_err());
+        assert_eq!(s.read_partner(NodeId(0), 0, 3).expect("kept"), b"new");
+    }
+}

@@ -1,0 +1,173 @@
+//! Cluster-size auto-tuning — §III's sweet-spot search as an algorithm.
+//!
+//! The paper finds its cluster sizes by manual inspection of Fig. 3a/3b.
+//! This module automates the search: sweep candidate configurations,
+//! score each on the four dimensions, drop everything that misses the
+//! baseline, and rank the survivors by a scalarised cost (normalised
+//! worst-axis by default — minimise the largest baseline ratio, i.e. the
+//! Chebyshev objective that matches Fig. 5c's "stay inside the polygon").
+
+use hcft_graph::WeightedGraph;
+use hcft_topology::Placement;
+
+use crate::baseline::BaselineRequirements;
+use crate::evaluator::{Evaluator, FourDScore};
+use crate::strategies::{
+    distributed, hierarchical, naive, ClusteringScheme, HierarchicalConfig,
+};
+
+/// One evaluated candidate.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The scheme.
+    pub scheme: ClusteringScheme,
+    /// Its 4-D score.
+    pub score: FourDScore,
+    /// max(normalised axes) — < 1 means inside the baseline polygon.
+    pub chebyshev: f64,
+}
+
+/// Sweep all candidate schemes for a traced workload.
+///
+/// Candidates: naïve/consecutive sizes (powers of two), distributed sizes
+/// (powers of two up to the node count) and hierarchical L1 widths
+/// (4 and 8 nodes).
+pub fn candidates(
+    evaluator: &Evaluator,
+    node_graph: &WeightedGraph,
+    baseline: &BaselineRequirements,
+) -> Vec<Candidate> {
+    let placement: &Placement = evaluator.placement();
+    let n = placement.nprocs();
+    let nodes = placement.nodes();
+    let mut schemes: Vec<ClusteringScheme> = Vec::new();
+    let mut size = 2;
+    while size <= n / 2 {
+        schemes.push(naive(n, size));
+        size *= 2;
+    }
+    let mut size = 2;
+    while size <= nodes {
+        schemes.push(distributed(placement, size));
+        size *= 2;
+    }
+    for l1 in [4usize, 8] {
+        if nodes >= 2 * l1 {
+            schemes.push(hierarchical(
+                placement,
+                node_graph,
+                &HierarchicalConfig {
+                    min_nodes_per_l1: l1,
+                    max_nodes_per_l1: l1,
+                    l2_group_nodes: 4.min(l1),
+                    ..Default::default()
+                },
+            ));
+        }
+    }
+    schemes
+        .into_iter()
+        .map(|scheme| {
+            let score = evaluator.evaluate(&scheme);
+            let chebyshev = baseline
+                .normalize(&score)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            Candidate {
+                scheme,
+                score,
+                chebyshev,
+            }
+        })
+        .collect()
+}
+
+/// Pick the best admissible candidate (smallest Chebyshev ratio), or the
+/// least-bad one when nothing is admissible.
+pub fn autotune(
+    evaluator: &Evaluator,
+    node_graph: &WeightedGraph,
+    baseline: &BaselineRequirements,
+) -> Candidate {
+    let mut all = candidates(evaluator, node_graph, baseline);
+    all.sort_by(|a, b| a.chebyshev.partial_cmp(&b.chebyshev).expect("finite"));
+    all.into_iter().next().expect("candidate set is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcft_graph::patterns;
+
+    /// Anisotropic stencil over 32 nodes × 8 ranks — paper-shaped.
+    fn setup() -> (Evaluator, WeightedGraph) {
+        let placement = Placement::block(32, 8);
+        let m = patterns::stencil_2d(128, 2, 2048, 16);
+        let node_matrix = m.aggregate_by_node(&placement);
+        let node_graph = WeightedGraph::from_comm_matrix(&node_matrix);
+        (Evaluator::new(m, placement), node_graph)
+    }
+
+    #[test]
+    fn autotune_selects_a_hierarchical_scheme() {
+        let (evaluator, node_graph) = setup();
+        let baseline = BaselineRequirements::default();
+        let best = autotune(&evaluator, &node_graph, &baseline);
+        assert!(
+            best.scheme.name.starts_with("hierarchical"),
+            "picked {}",
+            best.scheme.name
+        );
+        assert!(best.chebyshev < 1.0, "winner inside the polygon");
+        assert!(baseline.meets_all(&best.score));
+    }
+
+    #[test]
+    fn candidate_sweep_covers_all_families() {
+        let (evaluator, node_graph) = setup();
+        let cands = candidates(&evaluator, &node_graph, &BaselineRequirements::default());
+        let names: Vec<&str> = cands.iter().map(|c| c.score.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("naive")));
+        assert!(names.iter().any(|n| n.starts_with("distributed")));
+        assert!(names.iter().any(|n| n.starts_with("hierarchical")));
+        // Sweep is non-trivial.
+        assert!(cands.len() >= 8, "only {} candidates", cands.len());
+    }
+
+    #[test]
+    fn chebyshev_flags_inadmissible_candidates() {
+        let (evaluator, node_graph) = setup();
+        let cands = candidates(&evaluator, &node_graph, &BaselineRequirements::default());
+        for c in &cands {
+            let meets = BaselineRequirements::default().meets_all(&c.score);
+            assert_eq!(meets, c.chebyshev <= 1.0, "{}", c.score.name);
+        }
+    }
+
+    #[test]
+    fn degenerate_baseline_still_returns_least_bad() {
+        let (evaluator, node_graph) = setup();
+        // Impossible thresholds: nothing admissible, but autotune still
+        // ranks.
+        let impossible = BaselineRequirements {
+            max_logging_fraction: 1e-9,
+            max_restart_fraction: 1e-9,
+            max_encode_s_per_gb: 1e-9,
+            max_p_catastrophic: 1e-30,
+        };
+        let best = autotune(&evaluator, &node_graph, &impossible);
+        assert!(best.chebyshev > 1.0);
+    }
+
+    #[test]
+    fn all_to_all_workload_defeats_the_tuner_gracefully() {
+        // The §V caveat: on all-to-all nothing meets the logging budget.
+        let placement = Placement::block(16, 4);
+        let m = patterns::all_to_all(64, 1000);
+        let node_graph = WeightedGraph::from_comm_matrix(&m.aggregate_by_node(&placement));
+        let evaluator = Evaluator::new(m, placement);
+        let baseline = BaselineRequirements::default();
+        let best = autotune(&evaluator, &node_graph, &baseline);
+        assert!(!baseline.meets(&best.score)[0], "logging must fail");
+    }
+}

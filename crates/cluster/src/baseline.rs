@@ -1,0 +1,121 @@
+//! The §III baseline requirements and the Fig. 5c normalisation.
+//!
+//! The paper fixes four admissibility thresholds for large-scale FT:
+//! log ≤ 20 % of message bytes; encode 1 GB in ≤ 60 s; at most one in
+//! several thousand failures unrecoverable (≤ 1e-3); restart ≤ 20 % of
+//! processes per failure. Fig. 5c draws each clustering's four metrics
+//! normalised by these thresholds — anything outside the unit polygon is
+//! unusable at scale.
+
+use crate::evaluator::FourDScore;
+
+/// The four §III thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineRequirements {
+    /// Maximum fraction of bytes logged.
+    pub max_logging_fraction: f64,
+    /// Maximum expected restart fraction.
+    pub max_restart_fraction: f64,
+    /// Maximum seconds to encode 1 GB.
+    pub max_encode_s_per_gb: f64,
+    /// Maximum probability of catastrophic failure.
+    pub max_p_catastrophic: f64,
+}
+
+impl Default for BaselineRequirements {
+    fn default() -> Self {
+        BaselineRequirements {
+            max_logging_fraction: 0.20,
+            max_restart_fraction: 0.20,
+            max_encode_s_per_gb: 60.0,
+            max_p_catastrophic: 1e-3,
+        }
+    }
+}
+
+impl BaselineRequirements {
+    /// Per-dimension pass/fail, ordered (logging, restart, encode,
+    /// reliability).
+    pub fn meets(&self, s: &FourDScore) -> [bool; 4] {
+        [
+            s.logging_fraction <= self.max_logging_fraction,
+            s.restart_fraction <= self.max_restart_fraction,
+            s.encode_s_per_gb <= self.max_encode_s_per_gb,
+            s.p_catastrophic <= self.max_p_catastrophic,
+        ]
+    }
+
+    /// True when all four dimensions pass.
+    pub fn meets_all(&self, s: &FourDScore) -> bool {
+        self.meets(s).into_iter().all(|b| b)
+    }
+
+    /// Fig. 5c normalisation: each metric divided by its threshold, so
+    /// 1.0 is the baseline polygon. The reliability axis is normalised in
+    /// log-space (log p / log threshold would invert the sense for p <
+    /// threshold, so we use the plain ratio capped for readability).
+    pub fn normalize(&self, s: &FourDScore) -> [f64; 4] {
+        [
+            s.logging_fraction / self.max_logging_fraction,
+            s.restart_fraction / self.max_restart_fraction,
+            s.encode_s_per_gb / self.max_encode_s_per_gb,
+            s.p_catastrophic / self.max_p_catastrophic,
+        ]
+    }
+
+    /// Axis labels matching [`BaselineRequirements::meets`] order.
+    pub fn axis_labels() -> [&'static str; 4] {
+        [
+            "message logging",
+            "restart cost",
+            "encoding time",
+            "P(catastrophic)",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(log: f64, restart: f64, enc: f64, p: f64) -> FourDScore {
+        FourDScore {
+            name: "test".into(),
+            logging_fraction: log,
+            restart_fraction: restart,
+            encode_s_per_gb: enc,
+            p_catastrophic: p,
+        }
+    }
+
+    #[test]
+    fn paper_table2_admissibility() {
+        let b = BaselineRequirements::default();
+        // Table II values.
+        let naive = score(0.035, 0.031, 204.0, 1e-4);
+        let size_guided = score(0.129, 0.007, 51.0, 0.95);
+        let distributed = score(1.0, 0.25, 102.0, 1e-15);
+        let hierarchical = score(0.019, 0.0625, 25.0, 1e-6);
+        assert_eq!(b.meets(&naive), [true, true, false, true]);
+        assert_eq!(b.meets(&size_guided), [true, true, true, false]);
+        assert_eq!(b.meets(&distributed), [false, false, false, true]);
+        assert_eq!(b.meets(&hierarchical), [true, true, true, true]);
+        assert!(b.meets_all(&hierarchical));
+        assert!(!b.meets_all(&naive));
+    }
+
+    #[test]
+    fn normalisation_is_unit_at_threshold() {
+        let b = BaselineRequirements::default();
+        let s = score(0.20, 0.20, 60.0, 1e-3);
+        let n = b.normalize(&s);
+        for v in n {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn labels_align_with_axes() {
+        assert_eq!(BaselineRequirements::axis_labels().len(), 4);
+    }
+}

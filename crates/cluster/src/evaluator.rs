@@ -1,0 +1,164 @@
+//! The four-dimensional evaluator (Table II machinery).
+
+use hcft_erasure::EncodingModel;
+use hcft_graph::CommMatrix;
+use hcft_msglog::HybridProtocol;
+use hcft_reliability::model::fti_tolerance;
+use hcft_reliability::{EventDistribution, ReliabilityModel};
+use hcft_topology::Placement;
+
+use crate::strategies::ClusteringScheme;
+
+/// One row of Table II: the four dimensions of §III.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FourDScore {
+    /// Scheme name.
+    pub name: String,
+    /// Fraction of communicated bytes logged (L1 boundaries).
+    pub logging_fraction: f64,
+    /// Expected fraction of processes restarted per node failure (L1).
+    pub restart_fraction: f64,
+    /// Seconds to encode 1 GB per process (L2 cluster size, calibrated
+    /// model).
+    pub encode_s_per_gb: f64,
+    /// Probability that a failure event is catastrophic (L2 placement).
+    pub p_catastrophic: f64,
+}
+
+impl FourDScore {
+    /// Render as a Table-II-style row.
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<24} {:>7.1}% {:>8.2}% {:>8.0} s {:>12.2e}",
+            self.name,
+            self.logging_fraction * 100.0,
+            self.restart_fraction * 100.0,
+            self.encode_s_per_gb,
+            self.p_catastrophic
+        )
+    }
+}
+
+/// Evaluator bound to one traced application run and machine model.
+pub struct Evaluator {
+    matrix: CommMatrix,
+    placement: Placement,
+    encoding: EncodingModel,
+    reliability: ReliabilityModel,
+}
+
+impl Evaluator {
+    /// Build from the application communication matrix (application ranks
+    /// only, dense-renumbered) and their placement. Uses the
+    /// paper-calibrated encoding model and FTI event distribution.
+    pub fn new(matrix: CommMatrix, placement: Placement) -> Self {
+        assert_eq!(matrix.n(), placement.nprocs(), "matrix/placement size");
+        let nodes = placement.nodes();
+        Evaluator {
+            matrix,
+            placement,
+            encoding: EncodingModel::tsubame2(),
+            reliability: ReliabilityModel::new(nodes, EventDistribution::fti_calibrated()),
+        }
+    }
+
+    /// Replace the encoding model (e.g. with a locally measured
+    /// calibration).
+    pub fn with_encoding_model(mut self, m: EncodingModel) -> Self {
+        self.encoding = m;
+        self
+    }
+
+    /// Replace the reliability model.
+    pub fn with_reliability(mut self, m: ReliabilityModel) -> Self {
+        self.reliability = m;
+        self
+    }
+
+    /// The application matrix under evaluation.
+    pub fn matrix(&self) -> &CommMatrix {
+        &self.matrix
+    }
+
+    /// The placement under evaluation.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Score a scheme on all four dimensions.
+    pub fn evaluate(&self, scheme: &ClusteringScheme) -> FourDScore {
+        let protocol = HybridProtocol::new(scheme.l1.clone());
+        let stats = protocol.stats_from_matrix(&self.matrix);
+        let restart = protocol.expected_restart_fraction(&self.placement);
+        // The encoding time is governed by the largest L2 cluster (all
+        // clusters encode in parallel; the slowest gates the checkpoint).
+        let encode = self.encoding.seconds_per_gb(scheme.l2.max_size());
+        let p_cat = self.reliability.p_catastrophic(
+            &scheme.l2,
+            &self.placement,
+            &fti_tolerance,
+        );
+        FourDScore {
+            name: scheme.name.clone(),
+            logging_fraction: stats.logged_fraction(),
+            restart_fraction: restart,
+            encode_s_per_gb: encode,
+            p_catastrophic: p_cat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{distributed, naive};
+
+    /// Ring traffic over 16 ranks on 4 nodes.
+    fn setup() -> Evaluator {
+        let mut m = CommMatrix::new(16);
+        for r in 0..16 {
+            m.add(r, (r + 1) % 16, 100);
+        }
+        Evaluator::new(m, Placement::block(4, 4))
+    }
+
+    #[test]
+    fn naive_scores_match_hand_computation() {
+        let ev = setup();
+        let s = ev.evaluate(&naive(16, 4));
+        // Ring over clusters of 4: 4 of 16 edges cross → 25% logged.
+        assert!((s.logging_fraction - 0.25).abs() < 1e-12);
+        // Node-aligned clusters: one node failure restarts 4/16.
+        assert!((s.restart_fraction - 0.25).abs() < 1e-12);
+        // Encoding: clusters of 4 → ~25.5 s/GB.
+        assert!((s.encode_s_per_gb - 25.5).abs() < 0.1);
+        // Same-node clusters: every node event is catastrophic → ≈0.95
+        // (less the tiny mass on >4-node events impossible on 4 nodes).
+        assert!((s.p_catastrophic - 0.95).abs() < 1e-4);
+    }
+
+    #[test]
+    fn distributed_trades_reliability_for_logging() {
+        let ev = setup();
+        let s_nv = ev.evaluate(&naive(16, 4));
+        let s_ds = ev.evaluate(&distributed(ev.placement(), 4));
+        // Distributed stripes break the ring locality: the only unlogged
+        // edges are the 4 node-crossing ring links that happen to align
+        // with the diagonal striping → 12/16 logged.
+        assert!(s_ds.logging_fraction > 0.7);
+        assert!(s_ds.logging_fraction > 2.0 * s_nv.logging_fraction);
+        // …and every node failure touches all clusters.
+        assert!((s_ds.restart_fraction - 1.0).abs() < 1e-12);
+        // But reliability improves by orders of magnitude.
+        assert!(s_ds.p_catastrophic < s_nv.p_catastrophic / 1e3);
+    }
+
+    #[test]
+    fn render_row_contains_all_fields() {
+        let ev = setup();
+        let row = ev.evaluate(&naive(16, 4)).render_row();
+        assert!(row.contains("naive"));
+        assert!(row.contains('%'));
+        assert!(row.contains('s'));
+    }
+}

@@ -1,0 +1,27 @@
+//! `hcft-core` — the complete checkpoint-restart framework of the paper.
+//!
+//! Everything below this crate is a subsystem (runtime, workload, codes,
+//! checkpointing, logging, partitioning, reliability); this crate wires
+//! them into the two artefacts the evaluation needs:
+//!
+//! * [`experiment`] — the §V experiment: run the tsunami application with
+//!   one FTI encoder rank per node under the traced runtime (FTI-style
+//!   init allgather, application stencil, per-checkpoint app→encoder
+//!   transfers and encoder↔encoder parity exchange), producing the
+//!   communication matrices behind Fig. 5a/5b, plus the strategy
+//!   evaluation behind Fig. 3/4 and Table II;
+//! * [`drill`] — the end-to-end failure drill: a lockstep execution of
+//!   the same solver kernel with hybrid logging + multi-level encoded
+//!   checkpoints, where a node is actually killed (its on-disk
+//!   checkpoints deleted), its L1 cluster rolls back, lost shards are
+//!   Reed–Solomon-rebuilt, cross-cluster halos are replayed from sender
+//!   logs — and the recovered global field is bit-identical to an
+//!   uninterrupted run.
+
+pub mod campaign;
+pub mod drill;
+pub mod experiment;
+
+pub use campaign::{simulate_campaign, CampaignConfig, CampaignOutcome};
+pub use drill::{DrillConfig, LockstepDrill};
+pub use experiment::{run_traced_job, EvaluatedSchemes, TraceResult, TracedJobConfig};

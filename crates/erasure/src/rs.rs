@@ -1,0 +1,403 @@
+//! Systematic Reed–Solomon coding over byte shards.
+//!
+//! `ReedSolomon::new(k, m)` protects `k` data shards with `m` parity
+//! shards; any `m` erasures are recoverable. In the paper's setting one
+//! shard is one process's node-local checkpoint within an encoding (L2)
+//! cluster, and FTI's Reed–Solomon configuration tolerates the loss of
+//! half the cluster — [`ReedSolomon::fti_for_group`] captures that
+//! convention.
+//!
+//! Encoding is embarrassingly parallel across the byte dimension, so
+//! shards are chunked and processed with Rayon — mirroring how FTI
+//! overlaps encoding across dedicated per-node processes.
+
+use rayon::prelude::*;
+
+use crate::gf256;
+use crate::matrix::GfMatrix;
+
+/// Errors from reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// More shards are missing than the parity count can repair.
+    TooManyErasures {
+        /// Missing shard count.
+        missing: usize,
+        /// Parity (maximum repairable) count.
+        parity: usize,
+    },
+    /// Present shards disagree in length.
+    ShardSizeMismatch,
+    /// The shard vector length does not equal k+m.
+    WrongShardCount,
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::TooManyErasures { missing, parity } => write!(
+                f,
+                "unrecoverable: {missing} shards missing, only {parity} parity"
+            ),
+            RsError::ShardSizeMismatch => write!(f, "shard sizes differ"),
+            RsError::WrongShardCount => write!(f, "shard vector length != k+m"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic Reed–Solomon code with `k` data and `m` parity shards.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// The parity sub-matrix (m × k Cauchy).
+    parity_rows: GfMatrix,
+}
+
+/// Chunk size for parallel encoding (bytes per task).
+const PAR_CHUNK: usize = 64 * 1024;
+
+impl ReedSolomon {
+    /// Create a code with `k` data and `m` parity shards.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m == 0` or `k + m > 256`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k > 0 && m > 0, "need at least one data and one parity shard");
+        assert!(k + m <= 256, "GF(256) supports at most 256 total shards");
+        ReedSolomon {
+            k,
+            m,
+            parity_rows: GfMatrix::cauchy(m, k),
+        }
+    }
+
+    /// FTI's convention for an encoding cluster of `group_size` processes:
+    /// tolerate the loss of half the cluster (⌈s/2⌉ parity on ⌊s/2⌋ data).
+    pub fn fti_for_group(group_size: usize) -> Self {
+        assert!(group_size >= 2, "encoding clusters need >= 2 members");
+        let m = group_size.div_ceil(2);
+        Self::new(group_size - m, m)
+    }
+
+    /// Data shard count.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Parity shard count (= erasure tolerance).
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Total shard count.
+    pub fn total_shards(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Compute the `m` parity shards for `data` (must be `k` equal-length
+    /// shards).
+    ///
+    /// # Panics
+    /// Panics on shard-count or shard-length mismatch.
+    pub fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
+        let len = data[0].len();
+        assert!(
+            data.iter().all(|d| d.len() == len),
+            "data shards must have equal length"
+        );
+        let mut parity = vec![vec![0u8; len]; self.m];
+        // Parallelise across the byte dimension: each task owns the same
+        // chunk range of every parity shard.
+        let chunks: Vec<(usize, usize)> = (0..len)
+            .step_by(PAR_CHUNK.max(1))
+            .map(|lo| (lo, (lo + PAR_CHUNK).min(len)))
+            .collect();
+        // Split each parity shard into per-chunk mutable slices.
+        let mut parity_slices: Vec<Vec<&mut [u8]>> = Vec::with_capacity(chunks.len());
+        {
+            let mut rests: Vec<&mut [u8]> = parity.iter_mut().map(|p| &mut p[..]).collect();
+            for &(lo, hi) in &chunks {
+                let mut row = Vec::with_capacity(self.m);
+                let mut new_rests = Vec::with_capacity(self.m);
+                for rest in rests {
+                    let (head, tail) = rest.split_at_mut(hi - lo);
+                    row.push(head);
+                    new_rests.push(tail);
+                }
+                parity_slices.push(row);
+                rests = new_rests;
+            }
+        }
+        parity_slices
+            .par_iter_mut()
+            .zip(&chunks)
+            .for_each(|(prow, &(lo, hi))| {
+                for (p, pshard) in prow.iter_mut().enumerate() {
+                    for (j, dshard) in data.iter().enumerate() {
+                        gf256::mul_acc(pshard, &dshard[lo..hi], self.parity_rows.get(p, j));
+                    }
+                }
+            });
+        parity
+    }
+
+    /// Verify that `shards` (k data followed by m parity, all present and
+    /// equal-length) are consistent.
+    pub fn verify(&self, shards: &[&[u8]]) -> bool {
+        if shards.len() != self.total_shards() {
+            return false;
+        }
+        let parity = self.encode(&shards[..self.k]);
+        parity
+            .iter()
+            .zip(&shards[self.k..])
+            .all(|(computed, given)| computed.as_slice() == *given)
+    }
+
+    /// Rebuild all missing shards in place. `shards[i]` is `Some(bytes)`
+    /// if shard `i` survives (`i < k`: data, `i >= k`: parity).
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::WrongShardCount);
+        }
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > self.m {
+            return Err(RsError::TooManyErasures {
+                missing: missing.len(),
+                parity: self.m,
+            });
+        }
+        let len = shards[present[0]].as_ref().expect("present shard").len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().expect("present shard").len() != len)
+        {
+            return Err(RsError::ShardSizeMismatch);
+        }
+        // Generator matrix [I; C]; take the rows of k surviving shards,
+        // invert, and recover the data shards.
+        let gen = GfMatrix::identity(self.k).vstack(&self.parity_rows);
+        let use_rows = &present[..self.k];
+        let sub = gen.select_rows(use_rows);
+        let inv = sub.invert().expect("MDS: any k rows are invertible");
+        // data[j] = Σ_i inv[j][i] · shard[use_rows[i]]
+        let sources: Vec<&[u8]> = use_rows
+            .iter()
+            .map(|&i| shards[i].as_deref().expect("present shard"))
+            .collect();
+        let mut data: Vec<Option<Vec<u8>>> = vec![None; self.k];
+        let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.k).collect();
+        for &j in &missing_data {
+            let mut out = vec![0u8; len];
+            for (i, src) in sources.iter().enumerate() {
+                gf256::mul_acc(&mut out, src, inv.get(j, i));
+            }
+            data[j] = Some(out);
+        }
+        for &j in &missing_data {
+            shards[j] = data[j].take();
+        }
+        // Recompute any missing parity from the (now complete) data.
+        if missing.iter().any(|&i| i >= self.k) {
+            let data_refs: Vec<&[u8]> = shards[..self.k]
+                .iter()
+                .map(|s| s.as_deref().expect("data complete"))
+                .collect();
+            let parity = self.encode(&data_refs);
+            for (p, pshard) in parity.into_iter().enumerate() {
+                if shards[self.k + p].is_none() {
+                    shards[self.k + p] = Some(pshard);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn shards(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|b| ((i * 131 + b * 7 + 3) % 251) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_verify_roundtrip() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 1000);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let mut all: Vec<&[u8]> = refs.clone();
+        all.extend(parity.iter().map(|p| &p[..]));
+        assert!(rs.verify(&all));
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let rs = ReedSolomon::new(3, 2);
+        let data = shards(3, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let mut parity = rs.encode(&refs);
+        parity[0][10] ^= 0xFF;
+        let mut all: Vec<&[u8]> = refs.clone();
+        all.extend(parity.iter().map(|p| &p[..]));
+        assert!(!rs.verify(&all));
+    }
+
+    #[test]
+    fn reconstructs_every_single_erasure() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 200);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+        for lost in 0..6 {
+            let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            work[lost] = None;
+            rs.reconstruct(&mut work).expect("single erasure");
+            for (i, shard) in work.iter().enumerate() {
+                assert_eq!(shard.as_ref().expect("rebuilt"), &full[i], "shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_every_double_erasure() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 50);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                work[a] = None;
+                work[b] = None;
+                rs.reconstruct(&mut work).expect("double erasure");
+                for (i, shard) in work.iter().enumerate() {
+                    assert_eq!(shard.as_ref().expect("rebuilt"), &full[i], "lost {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_is_an_error() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 10);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let mut work: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity.iter().cloned())
+            .map(Some)
+            .collect();
+        work[0] = None;
+        work[1] = None;
+        work[2] = None;
+        assert_eq!(
+            rs.reconstruct(&mut work),
+            Err(RsError::TooManyErasures {
+                missing: 3,
+                parity: 2
+            })
+        );
+    }
+
+    #[test]
+    fn mismatched_sizes_rejected() {
+        let rs = ReedSolomon::new(2, 1);
+        let mut work = vec![
+            Some(vec![1, 2, 3]),
+            Some(vec![1, 2]),
+            None,
+        ];
+        assert_eq!(rs.reconstruct(&mut work), Err(RsError::ShardSizeMismatch));
+    }
+
+    #[test]
+    fn fti_group_tolerates_half() {
+        let rs = ReedSolomon::fti_for_group(4);
+        assert_eq!(rs.data_shards(), 2);
+        assert_eq!(rs.parity_shards(), 2);
+        let rs = ReedSolomon::fti_for_group(5);
+        assert_eq!(rs.parity_shards(), 3);
+        assert_eq!(rs.total_shards(), 5);
+    }
+
+    #[test]
+    fn large_shards_cross_parallel_chunk_boundary() {
+        let rs = ReedSolomon::new(3, 2);
+        let data = shards(3, 3 * PAR_CHUNK + 17);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let mut work: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity.iter().cloned())
+            .map(Some)
+            .collect();
+        work[1] = None;
+        work[4] = None;
+        rs.reconstruct(&mut work).expect("reconstruct large");
+        assert_eq!(work[1].as_ref().expect("rebuilt"), &data[1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn encode_erase_reconstruct_identity(
+            k in 1usize..6,
+            m in 1usize..5,
+            len in 1usize..300,
+            seed: u64,
+        ) {
+            let rs = ReedSolomon::new(k, m);
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|i| {
+                    let mut s = seed.wrapping_add(i as u64) | 1;
+                    (0..len)
+                        .map(|_| {
+                            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            (s >> 56) as u8
+                        })
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+            let parity = rs.encode(&refs);
+            let full: Vec<Vec<u8>> =
+                data.iter().cloned().chain(parity.iter().cloned()).collect();
+            // Erase up to m shards chosen by the seed.
+            let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            let mut s = seed | 1;
+            let erase = (seed as usize % m) + 1;
+            let mut killed = 0;
+            while killed < erase {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let idx = (s >> 33) as usize % (k + m);
+                if work[idx].is_some() {
+                    work[idx] = None;
+                    killed += 1;
+                }
+            }
+            rs.reconstruct(&mut work).expect("within tolerance");
+            for (i, shard) in work.iter().enumerate() {
+                prop_assert_eq!(shard.as_ref().expect("rebuilt"), &full[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Single-parity XOR code — FTI's cheap encoding level.
+//!
+//! One parity shard equal to the XOR of all data shards; tolerates exactly
+//! one erasure. The paper contrasts "bit-wise XOR or Reed–Solomon"
+//! encoding complexities (§II-B1); this is the cheap end of that spectrum
+//! and the baseline for the encoding-cost ablation bench.
+
+/// XOR erasure code over `k` data shards (+1 parity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XorCode {
+    k: usize,
+}
+
+impl XorCode {
+    /// A code over `k` data shards.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one data shard");
+        XorCode { k }
+    }
+
+    /// Data shard count.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Compute the parity shard.
+    ///
+    /// # Panics
+    /// Panics on shard-count or length mismatch.
+    pub fn encode(&self, data: &[&[u8]]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "expected {} shards", self.k);
+        let len = data[0].len();
+        assert!(data.iter().all(|d| d.len() == len), "unequal shard sizes");
+        let mut parity = vec![0u8; len];
+        for shard in data {
+            for (p, &s) in parity.iter_mut().zip(*shard) {
+                *p ^= s;
+            }
+        }
+        parity
+    }
+
+    /// Rebuild the single missing shard in `shards` (k data + 1 parity).
+    /// Returns `Err(missing_count)` when more than one shard is absent.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), usize> {
+        assert_eq!(shards.len(), self.k + 1, "expected k+1 shards");
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        match missing.len() {
+            0 => Ok(()),
+            1 => {
+                let len = shards
+                    .iter()
+                    .flatten()
+                    .next()
+                    .expect("k shards present")
+                    .len();
+                let mut out = vec![0u8; len];
+                for s in shards.iter().flatten() {
+                    assert_eq!(s.len(), len, "unequal shard sizes");
+                    for (o, &b) in out.iter_mut().zip(s) {
+                        *o ^= b;
+                    }
+                }
+                shards[missing[0]] = Some(out);
+                Ok(())
+            }
+            n => Err(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parity_is_xor() {
+        let c = XorCode::new(3);
+        let parity = c.encode(&[&[1, 2], &[4, 8], &[16, 32]]);
+        assert_eq!(parity, vec![21, 42]);
+    }
+
+    #[test]
+    fn rebuilds_any_single_loss() {
+        let c = XorCode::new(3);
+        let data = [vec![9u8, 7], vec![1, 2], vec![255, 0]];
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = c.encode(&refs);
+        for lost in 0..4 {
+            let mut work: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .chain([parity.clone()])
+                .map(Some)
+                .collect();
+            work[lost] = None;
+            c.reconstruct(&mut work).expect("one loss");
+            let expect: Vec<Vec<u8>> =
+                data.iter().cloned().chain([parity.clone()]).collect();
+            for i in 0..4 {
+                assert_eq!(work[i].as_ref().expect("rebuilt"), &expect[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn two_losses_fail() {
+        let c = XorCode::new(2);
+        let mut work = vec![None, Some(vec![1u8]), None];
+        assert_eq!(c.reconstruct(&mut work), Err(2));
+    }
+
+    proptest! {
+        #[test]
+        fn xor_roundtrip(data in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 16), 1..6), lost_idx: usize)
+        {
+            let c = XorCode::new(data.len());
+            let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+            let parity = c.encode(&refs);
+            let mut work: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .chain([parity])
+                .map(Some)
+                .collect();
+            let lost = lost_idx % work.len();
+            let original = work[lost].clone().expect("present before erase");
+            work[lost] = None;
+            c.reconstruct(&mut work).expect("single loss");
+            prop_assert_eq!(work[lost].as_ref().expect("rebuilt"), &original);
+        }
+    }
+}

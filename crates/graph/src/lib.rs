@@ -1,0 +1,27 @@
+//! Communication graphs and clusterings for `hcft`.
+//!
+//! The paper's entire analysis is driven by one artefact: the byte-level
+//! communication matrix of the traced application (Fig. 5a/5b). This crate
+//! provides:
+//!
+//! * [`CommMatrix`] — dense (sender, receiver) → bytes matrix, with
+//!   aggregation to a node-level matrix, projection onto rank subsets and
+//!   CSV/ASCII rendering;
+//! * [`WeightedGraph`] — the undirected weighted graph the partitioner
+//!   consumes;
+//! * [`Clustering`] — a validated partition of ranks into clusters, the
+//!   common currency between the clustering strategies, the evaluator, the
+//!   message-logging protocol and the checkpointing system;
+//! * [`metrics`] — the brain-network measures the paper cites as
+//!   inspiration (§IV-A): degree distribution, weighted modularity,
+//!   clustering coefficient.
+
+pub mod clustering;
+pub mod graph;
+pub mod matrix;
+pub mod metrics;
+pub mod patterns;
+
+pub use clustering::Clustering;
+pub use graph::WeightedGraph;
+pub use matrix::CommMatrix;

@@ -1,0 +1,184 @@
+//! Complex-network measures.
+//!
+//! §IV-A of the paper grounds the hierarchical design in brain-network
+//! research: functional segregation is revealed by partitions that maximise
+//! intra-cluster links (quantified by *modularity*), and *degree
+//! distribution* is "an important marker of network evolution and
+//! resilience" (Rubinov & Sporns 2010). These measures let us verify that
+//! HPC communication graphs indeed show the low connectivity degree and
+//! strong community structure the paper relies on.
+
+use crate::clustering::Clustering;
+use crate::graph::WeightedGraph;
+use hcft_topology::Rank;
+
+/// Histogram of unweighted vertex degrees: `hist[d]` = number of vertices
+/// with exactly `d` neighbours.
+pub fn degree_distribution(g: &WeightedGraph) -> Vec<usize> {
+    let maxd = (0..g.n()).map(|u| g.degree_count(u)).max().unwrap_or(0);
+    let mut hist = vec![0usize; maxd + 1];
+    for u in 0..g.n() {
+        hist[g.degree_count(u)] += 1;
+    }
+    hist
+}
+
+/// Mean unweighted degree — the "low degree of connectivity" observation
+/// of Kamil et al. \[15\] that makes cluster-based partial logging viable.
+pub fn mean_degree(g: &WeightedGraph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    (0..g.n()).map(|u| g.degree_count(u)).sum::<usize>() as f64 / g.n() as f64
+}
+
+/// Weighted Newman modularity Q of a clustering over the graph:
+///
+/// Q = Σ_c [ w_in(c)/W − (deg(c)/2W)² ]
+///
+/// where `w_in(c)` is the total weight of intra-cluster edges (self-loops
+/// included), `deg(c)` the total weighted degree of the cluster's vertices
+/// and `W` the total edge weight (self-loops included). Q near 1 means a
+/// strong community structure; Q ≤ 0 means no better than random.
+pub fn modularity(g: &WeightedGraph, c: &Clustering) -> f64 {
+    assert_eq!(g.n(), c.nprocs(), "clustering must cover the graph");
+    // Total weight including self-loops, counted as in Newman: each
+    // undirected edge contributes its weight once; self-loops once.
+    let w_edges = g.total_edge_weight();
+    let w_self: u64 = (0..g.n()).map(|u| g.self_weight(u)).sum();
+    let big_w = (w_edges + w_self) as f64;
+    if big_w == 0.0 {
+        return 0.0;
+    }
+    let mut q = 0.0;
+    for (cid, members) in c.iter() {
+        let mut w_in = 0u64;
+        let mut deg = 0u64;
+        for &u in members {
+            let u = u.idx();
+            w_in += g.self_weight(u);
+            deg += g.degree(u) + 2 * g.self_weight(u);
+            for &(v, w) in g.neighbors(u) {
+                let v = Rank(v);
+                if c.cluster_of(v) == cid && v.idx() > u {
+                    w_in += w;
+                }
+            }
+        }
+        let frac_in = w_in as f64 / big_w;
+        let frac_deg = deg as f64 / (2.0 * big_w);
+        q += frac_in - frac_deg * frac_deg;
+    }
+    q
+}
+
+/// Global (unweighted) clustering coefficient: 3 × triangles / open triads.
+/// One of the standard segregation measures in network neuroscience.
+pub fn clustering_coefficient(g: &WeightedGraph) -> f64 {
+    let mut triangles = 0u64;
+    let mut triads = 0u64;
+    for u in 0..g.n() {
+        let d = g.degree_count(u) as u64;
+        triads += d * d.saturating_sub(1) / 2;
+        let nbrs: Vec<usize> = g.neighbors(u).iter().map(|&(v, _)| v as usize).collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if g.edge_weight(nbrs[i], nbrs[j]) > 0 {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triads == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner (3 times total), and the
+        // formula numerator is 3 × triangles with triangles counted once,
+        // so the per-corner count already equals the numerator.
+        triangles as f64 / triads as f64
+    }
+}
+
+/// Fraction of total edge weight that is intra-cluster under `c` — the
+/// complement of the message-logging fraction for flat clusterings.
+pub fn intra_cluster_fraction(g: &WeightedGraph, c: &Clustering) -> f64 {
+    let total = g.total_edge_weight();
+    if total == 0 {
+        return 1.0;
+    }
+    let cut = g.cut_weight(&c.assignment());
+    1.0 - cut as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles joined by a single light edge — textbook community
+    /// structure.
+    fn two_communities() -> WeightedGraph {
+        let mut g = WeightedGraph::new(6);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b, 10);
+        }
+        g.add_edge(2, 3, 1);
+        g
+    }
+
+    #[test]
+    fn degree_distribution_counts() {
+        let g = two_communities();
+        let hist = degree_distribution(&g);
+        // Vertices 2 and 3 have degree 3, the rest degree 2.
+        assert_eq!(hist[2], 4);
+        assert_eq!(hist[3], 2);
+        assert!((mean_degree(&g) - (4.0 * 2.0 + 2.0 * 3.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_prefers_true_communities() {
+        let g = two_communities();
+        let good = Clustering::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        let bad = Clustering::from_assignment(&[0, 1, 0, 1, 0, 1]);
+        let all = Clustering::single(6);
+        let q_good = modularity(&g, &good);
+        let q_bad = modularity(&g, &bad);
+        let q_all = modularity(&g, &all);
+        assert!(q_good > 0.3, "q_good = {q_good}");
+        assert!(q_good > q_bad);
+        assert!(q_all.abs() < 1e-12, "single cluster has Q = 0, got {q_all}");
+    }
+
+    #[test]
+    fn modularity_of_singletons_is_negative_or_zero() {
+        let g = two_communities();
+        let q = modularity(&g, &Clustering::singletons(6));
+        assert!(q <= 0.0);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_triangle_is_one() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(0, 2, 1);
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_star_is_zero() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(0, 3, 1);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn intra_fraction_matches_cut() {
+        let g = two_communities();
+        let good = Clustering::from_assignment(&[0, 0, 0, 1, 1, 1]);
+        // Total weight 61, cut 1.
+        assert!((intra_cluster_fraction(&g, &good) - 60.0 / 61.0).abs() < 1e-12);
+    }
+}

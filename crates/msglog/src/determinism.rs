@@ -1,0 +1,140 @@
+//! Send-determinism verification.
+//!
+//! HydEE (the paper's hybrid protocol) is proved correct for
+//! *send-deterministic* MPI applications: every execution from the same
+//! initial state sends the same sequence of messages per process,
+//! regardless of message interleaving. This module checks that property
+//! over two traced executions — the runtime analogue of the paper's
+//! assumption, and a tripwire for applications that wildcard-receive
+//! their way out of the supported class.
+
+use crate::MsgEvent;
+
+/// Where two executions first diverge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// The sender whose streams differ.
+    pub sender: u32,
+    /// Index into the sender's event stream.
+    pub index: usize,
+    /// The event in execution A (`None` = stream A ended early).
+    pub a: Option<MsgEvent>,
+    /// The event in execution B (`None` = stream B ended early).
+    pub b: Option<MsgEvent>,
+}
+
+/// Result of a determinism check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// First divergence found, if any.
+    pub divergence: Option<Divergence>,
+    /// Total events compared.
+    pub events_compared: u64,
+}
+
+impl DeterminismReport {
+    /// True when the two executions are send-deterministic w.r.t. each
+    /// other.
+    pub fn is_deterministic(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Two sends are "the same" for send-determinism: same destination, same
+/// payload size, same phase. (Payload *content* equality is checked by
+/// the replay machinery; the protocol-level property is about the
+/// sequence.)
+fn same_send(a: &MsgEvent, b: &MsgEvent) -> bool {
+    a.dst == b.dst && a.bytes == b.bytes && a.phase == b.phase
+}
+
+/// Compare per-sender event streams of two executions.
+///
+/// # Panics
+/// Panics if the executions have different rank counts.
+pub fn check_send_determinism(
+    exec_a: &[Vec<MsgEvent>],
+    exec_b: &[Vec<MsgEvent>],
+) -> DeterminismReport {
+    assert_eq!(exec_a.len(), exec_b.len(), "rank count differs");
+    let mut compared = 0u64;
+    for (sender, (sa, sb)) in exec_a.iter().zip(exec_b).enumerate() {
+        let n = sa.len().max(sb.len());
+        for i in 0..n {
+            match (sa.get(i), sb.get(i)) {
+                (Some(a), Some(b)) if same_send(a, b) => compared += 1,
+                (a, b) => {
+                    return DeterminismReport {
+                        divergence: Some(Divergence {
+                            sender: sender as u32,
+                            index: i,
+                            a: a.copied(),
+                            b: b.copied(),
+                        }),
+                        events_compared: compared,
+                    }
+                }
+            }
+        }
+    }
+    DeterminismReport {
+        divergence: None,
+        events_compared: compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(dst: u32, bytes: u64, phase: u64) -> MsgEvent {
+        MsgEvent {
+            src: 0,
+            dst,
+            bytes,
+            phase,
+        }
+    }
+
+    #[test]
+    fn identical_streams_are_deterministic() {
+        let a = vec![vec![ev(1, 8, 0), ev(2, 8, 1)], vec![ev(0, 4, 0)]];
+        let report = check_send_determinism(&a, &a.clone());
+        assert!(report.is_deterministic());
+        assert_eq!(report.events_compared, 3);
+    }
+
+    #[test]
+    fn payload_size_change_is_caught() {
+        let a = vec![vec![ev(1, 8, 0)]];
+        let b = vec![vec![ev(1, 16, 0)]];
+        let report = check_send_determinism(&a, &b);
+        let d = report.divergence.expect("diverges");
+        assert_eq!(d.sender, 0);
+        assert_eq!(d.index, 0);
+        assert_eq!(d.a.expect("a").bytes, 8);
+        assert_eq!(d.b.expect("b").bytes, 16);
+    }
+
+    #[test]
+    fn missing_tail_is_caught() {
+        let a = vec![vec![ev(1, 8, 0), ev(1, 8, 1)]];
+        let b = vec![vec![ev(1, 8, 0)]];
+        let d = check_send_determinism(&a, &b).divergence.expect("diverges");
+        assert_eq!(d.index, 1);
+        assert!(d.b.is_none());
+    }
+
+    #[test]
+    fn reordered_destinations_are_caught() {
+        let a = vec![vec![ev(1, 8, 0), ev(2, 8, 0)]];
+        let b = vec![vec![ev(2, 8, 0), ev(1, 8, 0)]];
+        assert!(!check_send_determinism(&a, &b).is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank count")]
+    fn mismatched_rank_counts_panic() {
+        check_send_determinism(&[vec![]], &[vec![], vec![]]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Logging classification and the two protocol cost metrics.
+
+use hcft_graph::{Clustering, CommMatrix};
+use hcft_topology::{Placement, Rank};
+
+use crate::MsgEvent;
+
+/// Byte/message accounting for a clustering applied to a traffic trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogStats {
+    /// All traced bytes.
+    pub total_bytes: u64,
+    /// Bytes crossing cluster boundaries (must be logged).
+    pub logged_bytes: u64,
+    /// All traced messages.
+    pub total_msgs: u64,
+    /// Messages crossing cluster boundaries.
+    pub logged_msgs: u64,
+    /// Logged bytes held by each sender (the per-rank memory footprint).
+    pub per_sender_logged: Vec<u64>,
+}
+
+impl LogStats {
+    /// Fraction of bytes logged — the paper's "message logging overhead"
+    /// axis.
+    pub fn logged_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.logged_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Largest sender-side log (bytes) — the worst-case memory pressure.
+    pub fn max_sender_log(&self) -> u64 {
+        self.per_sender_logged.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The hybrid protocol configured with a failure-containment clustering.
+#[derive(Clone, Debug)]
+pub struct HybridProtocol {
+    clustering: Clustering,
+}
+
+impl HybridProtocol {
+    /// Protocol over the given (L1) clustering.
+    pub fn new(clustering: Clustering) -> Self {
+        HybridProtocol { clustering }
+    }
+
+    /// The clustering in force.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Must this message be logged? (Inter-cluster ⇒ yes.)
+    #[inline]
+    pub fn must_log(&self, src: Rank, dst: Rank) -> bool {
+        !self.clustering.same_cluster(src, dst)
+    }
+
+    /// Accounting from a byte matrix (no per-message phases needed).
+    pub fn stats_from_matrix(&self, m: &CommMatrix) -> LogStats {
+        assert_eq!(m.n(), self.clustering.nprocs(), "matrix/clustering size");
+        let mut s = LogStats {
+            total_bytes: 0,
+            logged_bytes: 0,
+            total_msgs: 0,
+            logged_msgs: 0,
+            per_sender_logged: vec![0; m.n()],
+        };
+        for (src, dst, bytes) in m.entries() {
+            s.total_bytes += bytes;
+            if self.must_log(Rank::from(src), Rank::from(dst)) {
+                s.logged_bytes += bytes;
+                s.per_sender_logged[src] += bytes;
+            }
+        }
+        s
+    }
+
+    /// Accounting from per-sender event streams (message counts exact).
+    pub fn stats_from_events(&self, events: &[Vec<MsgEvent>]) -> LogStats {
+        let n = self.clustering.nprocs();
+        let mut s = LogStats {
+            total_bytes: 0,
+            logged_bytes: 0,
+            total_msgs: 0,
+            logged_msgs: 0,
+            per_sender_logged: vec![0; n],
+        };
+        for stream in events {
+            for ev in stream {
+                s.total_bytes += ev.bytes;
+                s.total_msgs += 1;
+                if self.must_log(Rank(ev.src), Rank(ev.dst)) {
+                    s.logged_bytes += ev.bytes;
+                    s.logged_msgs += 1;
+                    s.per_sender_logged[ev.src as usize] += ev.bytes;
+                }
+            }
+        }
+        s
+    }
+
+    /// The set of ranks forced to restart when `failed` ranks die: the
+    /// union of their clusters.
+    pub fn restart_set(&self, failed: &[Rank]) -> Vec<Rank> {
+        let mut clusters: Vec<usize> = failed
+            .iter()
+            .map(|&r| self.clustering.cluster_of(r))
+            .collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        let mut out: Vec<Rank> = clusters
+            .into_iter()
+            .flat_map(|c| self.clustering.members(c).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Expected fraction of ranks restarted when one uniformly-random
+    /// node fails — the paper's "recovery cost"/"restart cost" axis
+    /// (Fig. 3a right axis, Fig. 4c).
+    pub fn expected_restart_fraction(&self, placement: &Placement) -> f64 {
+        assert_eq!(placement.nprocs(), self.clustering.nprocs());
+        let nprocs = placement.nprocs() as f64;
+        let nodes = placement.nodes();
+        let mut acc = 0.0;
+        for node in 0..nodes {
+            let failed = placement.ranks_on(hcft_topology::NodeId::from(node));
+            if failed.is_empty() {
+                continue;
+            }
+            let restarted = self.restart_set(failed);
+            acc += restarted.len() as f64 / nprocs;
+        }
+        acc / nodes as f64
+    }
+
+    /// Restart fraction for a specific single-node failure.
+    pub fn restart_fraction_for_node(
+        &self,
+        placement: &Placement,
+        node: hcft_topology::NodeId,
+    ) -> f64 {
+        let failed = placement.ranks_on(node);
+        self.restart_set(failed).len() as f64 / placement.nprocs() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_ring(n: usize, bytes: u64) -> CommMatrix {
+        let mut m = CommMatrix::new(n);
+        for r in 0..n {
+            m.add(r, (r + 1) % n, bytes);
+        }
+        m
+    }
+
+    #[test]
+    fn logging_counts_only_cross_cluster_traffic() {
+        // Ring of 8, clusters of 4: cuts at 3->4 and 7->0.
+        let p = HybridProtocol::new(Clustering::consecutive(8, 4));
+        let s = p.stats_from_matrix(&matrix_ring(8, 10));
+        assert_eq!(s.total_bytes, 80);
+        assert_eq!(s.logged_bytes, 20);
+        assert!((s.logged_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(s.per_sender_logged[3], 10);
+        assert_eq!(s.per_sender_logged[7], 10);
+        assert_eq!(s.per_sender_logged[1], 0);
+        assert_eq!(s.max_sender_log(), 10);
+    }
+
+    #[test]
+    fn single_cluster_logs_nothing() {
+        let p = HybridProtocol::new(Clustering::single(8));
+        let s = p.stats_from_matrix(&matrix_ring(8, 10));
+        assert_eq!(s.logged_bytes, 0);
+    }
+
+    #[test]
+    fn singletons_log_everything() {
+        let p = HybridProtocol::new(Clustering::singletons(8));
+        let s = p.stats_from_matrix(&matrix_ring(8, 10));
+        assert_eq!(s.logged_bytes, s.total_bytes);
+    }
+
+    #[test]
+    fn stats_from_events_counts_messages() {
+        let p = HybridProtocol::new(Clustering::consecutive(4, 2));
+        let events = vec![
+            vec![
+                MsgEvent { src: 0, dst: 1, bytes: 5, phase: 0 },
+                MsgEvent { src: 0, dst: 2, bytes: 7, phase: 1 },
+            ],
+            vec![MsgEvent { src: 1, dst: 3, bytes: 3, phase: 1 }],
+        ];
+        let s = p.stats_from_events(&events);
+        assert_eq!(s.total_msgs, 3);
+        assert_eq!(s.logged_msgs, 2);
+        assert_eq!(s.logged_bytes, 10);
+        assert_eq!(s.per_sender_logged, vec![7, 3, 0, 0]);
+    }
+
+    #[test]
+    fn restart_set_is_cluster_union() {
+        let p = HybridProtocol::new(Clustering::consecutive(12, 4));
+        let rs = p.restart_set(&[Rank(0), Rank(9)]);
+        let expect: Vec<Rank> = [0, 1, 2, 3, 8, 9, 10, 11]
+            .iter()
+            .map(|&r| Rank(r))
+            .collect();
+        assert_eq!(rs, expect);
+        // Two failures in one cluster restart just that cluster.
+        assert_eq!(p.restart_set(&[Rank(1), Rank(2)]).len(), 4);
+    }
+
+    #[test]
+    fn node_aligned_clusters_restart_one_cluster_per_node() {
+        // 4 nodes × 4 ppn; clusters of 8 = 2 nodes.
+        let placement = Placement::block(4, 4);
+        let p = HybridProtocol::new(Clustering::consecutive(16, 8));
+        // Any node failure restarts its 8-rank cluster: 8/16 = 0.5.
+        assert!((p.expected_restart_fraction(&placement) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_clusters_amplify_restart() {
+        // 4 nodes × 4 ppn; distributed clusters of 4: slot s of every
+        // node forms a cluster → one node failure touches all 4 clusters
+        // → everything restarts.
+        let placement = Placement::block(4, 4);
+        let assignment: Vec<usize> = (0..16).map(|r| r % 4).collect();
+        let p = HybridProtocol::new(Clustering::from_assignment(&assignment));
+        assert!((p.expected_restart_fraction(&placement) - 1.0).abs() < 1e-12);
+    }
+}

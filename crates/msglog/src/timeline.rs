@@ -1,0 +1,138 @@
+//! Sender-log memory over time.
+//!
+//! §II-B2: message logging "imposes a high memory footprint that
+//! increases with the communication rate of the application" — the
+//! reason the paper logs only inter-cluster traffic and why cluster size
+//! matters. This module turns a traced event stream into the log-memory
+//! *timeline*: bytes held by sender logs at each phase, with the
+//! sawtooth drops at coordinated checkpoints (when logs are garbage
+//! collected).
+
+use hcft_graph::Clustering;
+use hcft_topology::Rank;
+
+use crate::protocol::HybridProtocol;
+use crate::MsgEvent;
+
+/// One timeline sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogSample {
+    /// Phase (application iteration).
+    pub phase: u64,
+    /// Total bytes held across all sender logs *after* this phase's
+    /// traffic (and after any checkpoint GC at this phase).
+    pub bytes: u64,
+    /// Peak single-sender log at this phase.
+    pub max_sender_bytes: u64,
+}
+
+/// Compute the log-memory timeline for a clustering over per-sender
+/// event streams, with coordinated checkpoints every `checkpoint_every`
+/// phases (0 = never) garbage-collecting all entries from before the
+/// checkpoint.
+pub fn log_memory_timeline(
+    clustering: &Clustering,
+    events: &[Vec<MsgEvent>],
+    checkpoint_every: u64,
+) -> Vec<LogSample> {
+    let protocol = HybridProtocol::new(clustering.clone());
+    let n = clustering.nprocs();
+    // Bucket logged bytes by (sender, phase).
+    let max_phase = events
+        .iter()
+        .flatten()
+        .map(|e| e.phase)
+        .max()
+        .unwrap_or(0);
+    let phases = (max_phase + 1) as usize;
+    let mut per_sender_phase = vec![0u64; n * phases];
+    for stream in events {
+        for ev in stream {
+            if protocol.must_log(Rank(ev.src), Rank(ev.dst)) {
+                per_sender_phase[ev.src as usize * phases + ev.phase as usize] += ev.bytes;
+            }
+        }
+    }
+    // Walk phases, accumulating and truncating at checkpoints.
+    let mut held = vec![0u64; n]; // bytes per sender since last checkpoint
+    let mut out = Vec::with_capacity(phases);
+    for ph in 0..phases as u64 {
+        for (s, h) in held.iter_mut().enumerate() {
+            *h += per_sender_phase[s * phases + ph as usize];
+        }
+        if checkpoint_every > 0 && ph > 0 && ph % checkpoint_every == 0 {
+            // Coordinated checkpoint at this phase: everything logged
+            // *before* it is garbage-collected; only this phase's own
+            // traffic (sent at-or-after the checkpoint) survives.
+            for (s, h) in held.iter_mut().enumerate() {
+                *h = per_sender_phase[s * phases + ph as usize];
+            }
+        }
+        out.push(LogSample {
+            phase: ph,
+            bytes: held.iter().sum(),
+            max_sender_bytes: held.iter().copied().max().unwrap_or(0),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 ranks in 2 clusters; rank 1 sends 10 B across the boundary every
+    /// phase; rank 0 sends 5 B inside its cluster (never logged).
+    fn events(phases: u64) -> Vec<Vec<MsgEvent>> {
+        let mut streams = vec![Vec::new(); 4];
+        for ph in 0..phases {
+            streams[1].push(MsgEvent {
+                src: 1,
+                dst: 2,
+                bytes: 10,
+                phase: ph,
+            });
+            streams[0].push(MsgEvent {
+                src: 0,
+                dst: 1,
+                bytes: 5,
+                phase: ph,
+            });
+        }
+        streams
+    }
+
+    #[test]
+    fn grows_linearly_without_checkpoints() {
+        let c = Clustering::consecutive(4, 2);
+        let tl = log_memory_timeline(&c, &events(6), 0);
+        let bytes: Vec<u64> = tl.iter().map(|s| s.bytes).collect();
+        assert_eq!(bytes, vec![10, 20, 30, 40, 50, 60]);
+        assert_eq!(tl[5].max_sender_bytes, 60);
+    }
+
+    #[test]
+    fn checkpoints_produce_a_sawtooth() {
+        let c = Clustering::consecutive(4, 2);
+        let tl = log_memory_timeline(&c, &events(8), 3);
+        let bytes: Vec<u64> = tl.iter().map(|s| s.bytes).collect();
+        // Phases 0..2 accumulate; checkpoint at 3 resets to that phase's
+        // own traffic; etc.
+        assert_eq!(bytes, vec![10, 20, 30, 10, 20, 30, 10, 20]);
+    }
+
+    #[test]
+    fn intra_cluster_traffic_never_counts() {
+        let single = Clustering::single(4);
+        let tl = log_memory_timeline(&single, &events(4), 0);
+        assert!(tl.iter().all(|s| s.bytes == 0));
+    }
+
+    #[test]
+    fn empty_stream_is_flat_zero() {
+        let c = Clustering::consecutive(2, 1);
+        let tl = log_memory_timeline(&c, &[vec![], vec![]], 2);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].bytes, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Heavy-edge-matching coarsening.
+//!
+//! Each coarsening level contracts a maximal matching that prefers heavy
+//! edges, halving (roughly) the vertex count while preserving the cut
+//! structure: a good partition of the coarse graph projects to a good
+//! partition of the fine graph.
+
+use hcft_graph::WeightedGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One level of coarsening: the coarse graph plus the fine→coarse map.
+pub struct CoarseLevel {
+    /// The contracted graph.
+    pub graph: WeightedGraph,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<usize>,
+}
+
+/// Contract a heavy-edge maximal matching of `g`. Visit order is shuffled
+/// with `seed` to avoid pathological orderings; ties break on heavier
+/// edges. Returns `None` when no edge can be matched (no coarsening
+/// progress possible).
+pub fn coarsen_once(g: &WeightedGraph, seed: u64) -> Option<CoarseLevel> {
+    let n = g.n();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut mate = vec![usize::MAX; n];
+    let mut matched_any = false;
+    for &u in &order {
+        if mate[u] != usize::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbour.
+        let best = g
+            .neighbors(u)
+            .iter()
+            .filter(|&&(v, _)| mate[v as usize] == usize::MAX && v as usize != u)
+            .max_by_key(|&&(v, w)| (w, std::cmp::Reverse(v)));
+        if let Some(&(v, _)) = best {
+            mate[u] = v as usize;
+            mate[v as usize] = u;
+            matched_any = true;
+        }
+    }
+    if !matched_any {
+        return None;
+    }
+    // Assign coarse ids: matched pairs share one, singletons keep one.
+    let mut map = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for u in 0..n {
+        if map[u] != usize::MAX {
+            continue;
+        }
+        map[u] = next;
+        if mate[u] != usize::MAX {
+            map[mate[u]] = next;
+        }
+        next += 1;
+    }
+    // Build the coarse graph.
+    let mut coarse = WeightedGraph::new(next);
+    let mut cw = vec![0u64; next];
+    for u in 0..n {
+        cw[map[u]] += g.vertex_weight(u);
+    }
+    for (c, &w) in cw.iter().enumerate() {
+        coarse.set_vertex_weight(c, w);
+    }
+    for u in 0..n {
+        for &(v, w) in g.neighbors(u) {
+            let v = v as usize;
+            if u < v && map[u] != map[v] {
+                coarse.add_edge(map[u], map[v], w);
+            }
+        }
+    }
+    Some(CoarseLevel { graph: coarse, map })
+}
+
+/// Coarsen until at most `target_n` vertices remain or progress stalls.
+/// Returns the level stack, finest first.
+pub fn coarsen_to(g: &WeightedGraph, target_n: usize, seed: u64) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    let mut round = 0u64;
+    while current.n() > target_n {
+        match coarsen_once(&current, seed.wrapping_add(round)) {
+            Some(level) => {
+                // Stop if contraction stalls (e.g. matching shrinks by <10%).
+                let shrank = level.graph.n() < current.n();
+                current = level.graph.clone();
+                levels.push(level);
+                if !shrank {
+                    break;
+                }
+            }
+            None => break,
+        }
+        round += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 10);
+        }
+        g
+    }
+
+    #[test]
+    fn coarsen_once_halves_a_path() {
+        let g = path(8);
+        let level = coarsen_once(&g, 1).expect("progress");
+        assert!(level.graph.n() < 8);
+        assert!(level.graph.n() >= 4);
+        // Total vertex weight is conserved.
+        assert_eq!(level.graph.total_vertex_weight(), 8);
+    }
+
+    #[test]
+    fn edgeless_graph_cannot_coarsen() {
+        let g = WeightedGraph::new(4);
+        assert!(coarsen_once(&g, 0).is_none());
+    }
+
+    #[test]
+    fn map_is_consistent_with_coarse_graph() {
+        let g = path(10);
+        let level = coarsen_once(&g, 7).expect("progress");
+        for u in 0..10 {
+            assert!(level.map[u] < level.graph.n());
+        }
+        // Every coarse vertex weight equals the number of fine vertices
+        // mapped to it (unit weights).
+        let mut counts = vec![0u64; level.graph.n()];
+        for &c in &level.map {
+            counts[c] += 1;
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            assert_eq!(level.graph.vertex_weight(c), count);
+        }
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = path(64);
+        let levels = coarsen_to(&g, 8, 42);
+        assert!(!levels.is_empty());
+        assert!(levels.last().expect("levels").graph.n() <= 16);
+        // Weight conserved through the whole stack.
+        assert_eq!(
+            levels.last().expect("levels").graph.total_vertex_weight(),
+            64
+        );
+    }
+
+    #[test]
+    fn heavy_edges_matched_first() {
+        // Star with one heavy spoke: the heavy edge must be contracted.
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 100);
+        g.add_edge(0, 2, 1);
+        g.add_edge(0, 3, 1);
+        let level = coarsen_once(&g, 7).expect("progress");
+        assert_eq!(level.map[0], level.map[1], "heavy edge not contracted");
+    }
+}

@@ -1,0 +1,134 @@
+//! The clustering cost function of Ropars et al. \[24\].
+//!
+//! A candidate partition of the node graph is scored on the two axes the
+//! hybrid protocol trades off:
+//!
+//! * **logging fraction** — cut weight / total weight: the share of
+//!   communicated bytes that crosses cluster boundaries and must be
+//!   logged;
+//! * **expected restart fraction** — the expected share of the system
+//!   rolled back by one uniformly-random node failure, i.e.
+//!   Σ_p (w_p / W)², since a failure lands in part p with probability
+//!   w_p/W and rolls back w_p/W of the system.
+//!
+//! The scalarised objective `λ·logging + (1−λ)·restart` is what the L1
+//! partition search minimises; λ defaults to 0.5 as in \[24\]'s balanced
+//! setting.
+
+use hcft_graph::WeightedGraph;
+
+/// Weights of the scalarised objective.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostWeights {
+    /// Weight on the logging fraction (0..=1); restart gets `1 − lambda`.
+    pub lambda: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights { lambda: 0.5 }
+    }
+}
+
+/// The two raw components plus the scalarised cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionCost {
+    /// Fraction of edge weight crossing parts (bytes to log).
+    pub logging_fraction: f64,
+    /// Expected fraction of vertex weight restarted per failure.
+    pub restart_fraction: f64,
+    /// `λ·logging + (1−λ)·restart`.
+    pub scalar: f64,
+}
+
+/// Score a partition of `g`.
+pub fn partition_cost(g: &WeightedGraph, part_of: &[usize], w: CostWeights) -> PartitionCost {
+    assert_eq!(part_of.len(), g.n());
+    let total_edge = g.total_edge_weight();
+    let logging_fraction = if total_edge == 0 {
+        0.0
+    } else {
+        g.cut_weight(part_of) as f64 / total_edge as f64
+    };
+    let total_vertex = g.total_vertex_weight() as f64;
+    let k = part_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut pw = vec![0u64; k];
+    for (u, &p) in part_of.iter().enumerate() {
+        pw[p] += g.vertex_weight(u);
+    }
+    let restart_fraction = pw
+        .iter()
+        .map(|&w| {
+            let f = w as f64 / total_vertex;
+            f * f
+        })
+        .sum();
+    PartitionCost {
+        logging_fraction,
+        restart_fraction,
+        scalar: w.lambda * logging_fraction + (1.0 - w.lambda) * restart_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 10);
+        }
+        g
+    }
+
+    #[test]
+    fn single_cluster_logs_nothing_restarts_everything() {
+        let g = path(8);
+        let c = partition_cost(&g, &[0; 8], CostWeights::default());
+        assert_eq!(c.logging_fraction, 0.0);
+        assert_eq!(c.restart_fraction, 1.0);
+        assert_eq!(c.scalar, 0.5);
+    }
+
+    #[test]
+    fn singletons_log_everything_restart_little() {
+        let g = path(8);
+        let part: Vec<usize> = (0..8).collect();
+        let c = partition_cost(&g, &part, CostWeights::default());
+        assert_eq!(c.logging_fraction, 1.0);
+        assert!((c.restart_fraction - 8.0 * (1.0f64 / 8.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn middle_ground_beats_both_extremes() {
+        let g = path(16);
+        let quarters: Vec<usize> = (0..16).map(|u| u / 4).collect();
+        let all = partition_cost(&g, &[0; 16], CostWeights::default()).scalar;
+        let single: Vec<usize> = (0..16).collect();
+        let singles = partition_cost(&g, &single, CostWeights::default()).scalar;
+        let mid = partition_cost(&g, &quarters, CostWeights::default()).scalar;
+        assert!(mid < all, "{mid} vs all={all}");
+        assert!(mid < singles, "{mid} vs singles={singles}");
+    }
+
+    #[test]
+    fn lambda_shifts_the_tradeoff() {
+        let g = path(16);
+        let quarters: Vec<usize> = (0..16).map(|u| u / 4).collect();
+        let log_heavy = partition_cost(&g, &quarters, CostWeights { lambda: 1.0 });
+        let restart_heavy = partition_cost(&g, &quarters, CostWeights { lambda: 0.0 });
+        assert_eq!(log_heavy.scalar, log_heavy.logging_fraction);
+        assert_eq!(restart_heavy.scalar, restart_heavy.restart_fraction);
+    }
+
+    #[test]
+    fn weighted_vertices_affect_restart() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 1);
+        g.set_vertex_weight(0, 3);
+        g.set_vertex_weight(1, 1);
+        let c = partition_cost(&g, &[0, 1], CostWeights::default());
+        assert!((c.restart_fraction - (0.75f64 * 0.75 + 0.25 * 0.25)).abs() < 1e-12);
+    }
+}

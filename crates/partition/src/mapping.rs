@@ -1,0 +1,244 @@
+//! Topology-aware mapping of the application's node graph onto physical
+//! nodes.
+//!
+//! Implements the positioning strategy the paper assumes as background
+//! (§II-C2, refs \[4\]\[26\]): place heavily-communicating virtual nodes on
+//! physically close machine nodes, minimising `Σ weight(u,v) ·
+//! hops(map(u), map(v))`. Greedy affinity-ordered construction plus
+//! pairwise swap refinement — the standard recipe of topology-mapping
+//! tools (e.g. LibTopoMap-style).
+
+use hcft_graph::WeightedGraph;
+use hcft_topology::network::NetworkTopology;
+use hcft_topology::NodeId;
+
+/// Weighted-hop cost of a mapping (`mapping[v]` = physical node of
+/// virtual node `v`).
+pub fn mapping_cost(g: &WeightedGraph, topo: &NetworkTopology, mapping: &[NodeId]) -> u64 {
+    assert_eq!(mapping.len(), g.n());
+    let mut cost = 0u64;
+    for u in 0..g.n() {
+        for &(v, w) in g.neighbors(u) {
+            let v = v as usize;
+            if u < v {
+                cost += w * topo.hops(mapping[u], mapping[v]) as u64;
+            }
+        }
+    }
+    cost
+}
+
+/// The identity mapping (virtual node i on physical node i) — what block
+/// placement of consecutive ranks gives you.
+pub fn identity_mapping(n: usize) -> Vec<NodeId> {
+    (0..n).map(NodeId::from).collect()
+}
+
+/// Greedy topology-aware mapping onto `physical` candidate nodes
+/// (must be ≥ the graph's vertex count; extra nodes stay unused).
+///
+/// Virtual nodes are placed in order of connectivity to the already
+/// placed set; each goes to the free physical node minimising its added
+/// hop cost. A pairwise swap pass then polishes the result.
+///
+/// # Panics
+/// Panics if fewer physical nodes than virtual nodes are supplied.
+pub fn topology_aware_map(
+    g: &WeightedGraph,
+    topo: &NetworkTopology,
+    physical: &[NodeId],
+) -> Vec<NodeId> {
+    let n = g.n();
+    assert!(physical.len() >= n, "not enough physical nodes");
+    let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+    let mut free: Vec<NodeId> = physical.to_vec();
+    // Placement order: start from the heaviest vertex, then repeatedly
+    // take the unplaced vertex with the strongest ties to placed ones.
+    let mut placed: Vec<usize> = Vec::with_capacity(n);
+    let first = (0..n).max_by_key(|&u| g.degree(u)).expect("non-empty");
+    let mut order = vec![first];
+    let mut in_order = vec![false; n];
+    in_order[first] = true;
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&u| !in_order[u])
+            .max_by_key(|&u| {
+                let affinity: u64 = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&(v, _)| in_order[v as usize])
+                    .map(|&(_, w)| w)
+                    .sum();
+                (affinity, std::cmp::Reverse(u))
+            })
+            .expect("unplaced vertex exists");
+        in_order[next] = true;
+        order.push(next);
+    }
+    for &u in &order {
+        // Cost of placing u at candidate p: hops to already placed
+        // neighbours, weighted.
+        let best_idx = (0..free.len())
+            .min_by_key(|&i| {
+                let p = free[i];
+                let cost: u64 = g
+                    .neighbors(u)
+                    .iter()
+                    .filter_map(|&(v, w)| {
+                        mapping[v as usize].map(|q| w * topo.hops(p, q) as u64)
+                    })
+                    .sum();
+                (cost, p)
+            })
+            .expect("free node available");
+        mapping[u] = Some(free.swap_remove(best_idx));
+        placed.push(u);
+    }
+    let mut result: Vec<NodeId> = mapping.into_iter().map(|m| m.expect("placed")).collect();
+    swap_refine(g, topo, &mut result, 4);
+    result
+}
+
+/// Pairwise swap refinement: exchange two virtual nodes' physical
+/// positions whenever it lowers the weighted-hop cost.
+fn swap_refine(
+    g: &WeightedGraph,
+    topo: &NetworkTopology,
+    mapping: &mut [NodeId],
+    max_passes: usize,
+) {
+    let n = g.n();
+    let vertex_cost = |u: usize, pos: NodeId, mapping: &[NodeId], skip: usize| -> u64 {
+        g.neighbors(u)
+            .iter()
+            .filter(|&&(v, _)| v as usize != skip)
+            .map(|&(v, w)| w * topo.hops(pos, mapping[v as usize]) as u64)
+            .sum()
+    };
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let before = vertex_cost(a, mapping[a], mapping, b)
+                    + vertex_cost(b, mapping[b], mapping, a);
+                let after = vertex_cost(a, mapping[b], mapping, b)
+                    + vertex_cost(b, mapping[a], mapping, a);
+                if after < before {
+                    mapping.swap(a, b);
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_graph(n: usize, w: u64) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            g.add_edge(u, (u + 1) % n, w);
+        }
+        g
+    }
+
+    #[test]
+    fn identity_cost_on_matched_ring_and_torus_is_minimal() {
+        // Ring of 8 on an 8×1×1 torus: identity puts every edge at 1 hop.
+        let g = ring_graph(8, 10);
+        let t = NetworkTopology::Torus3D { dims: (8, 1, 1) };
+        let id = identity_mapping(8);
+        assert_eq!(mapping_cost(&g, &t, &id), 8 * 10);
+    }
+
+    #[test]
+    fn mapper_matches_identity_quality_on_ring() {
+        let g = ring_graph(8, 10);
+        let t = NetworkTopology::Torus3D { dims: (8, 1, 1) };
+        let physical: Vec<NodeId> = (0..8).map(NodeId::from).collect();
+        let m = topology_aware_map(&g, &t, &physical);
+        // Optimal ring embedding costs 8 edges × 1 hop.
+        assert_eq!(mapping_cost(&g, &t, &m), 80, "mapping {m:?}");
+    }
+
+    #[test]
+    fn mapper_beats_scrambled_placement() {
+        // 4×4 grid graph on a 4×4×1 torus.
+        let mut g = WeightedGraph::new(16);
+        for y in 0..4 {
+            for x in 0..4 {
+                let u = y * 4 + x;
+                if x + 1 < 4 {
+                    g.add_edge(u, u + 1, 5);
+                }
+                if y + 1 < 4 {
+                    g.add_edge(u, u + 4, 5);
+                }
+            }
+        }
+        let t = NetworkTopology::Torus3D { dims: (4, 4, 1) };
+        let physical: Vec<NodeId> = (0..16).map(NodeId::from).collect();
+        let optimised = topology_aware_map(&g, &t, &physical);
+        // A deliberately bad bit-reversal-ish scramble.
+        let scrambled: Vec<NodeId> = (0..16)
+            .map(|v| NodeId::from((v * 7 + 3) % 16))
+            .collect();
+        let good = mapping_cost(&g, &t, &optimised);
+        let bad = mapping_cost(&g, &t, &scrambled);
+        assert!(good < bad, "optimised {good} vs scrambled {bad}");
+        // And within 1.5× of the ideal 24 edges × weight 5 × 1 hop = 120.
+        assert!(good <= 180, "good = {good}");
+    }
+
+    #[test]
+    fn fat_tree_mapper_packs_communicators_under_one_switch() {
+        // Two cliques of 4 with a weak bridge; fat tree with 4-node
+        // switches: each clique should land under one switch (2 hops).
+        let mut g = WeightedGraph::new(8);
+        for base in [0, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(base + i, base + j, 100);
+                }
+            }
+        }
+        g.add_edge(3, 4, 1);
+        let t = NetworkTopology::FatTree {
+            nodes_per_switch: 4,
+            switches_per_pod: 2,
+        };
+        let physical: Vec<NodeId> = (0..8).map(NodeId::from).collect();
+        let m = topology_aware_map(&g, &t, &physical);
+        for base in [0usize, 4] {
+            let switches: std::collections::HashSet<usize> =
+                (base..base + 4).map(|v| m[v].idx() / 4).collect();
+            assert_eq!(switches.len(), 1, "clique {base} split across switches");
+        }
+    }
+
+    #[test]
+    fn mapper_uses_only_offered_nodes() {
+        let g = ring_graph(4, 1);
+        let t = NetworkTopology::tsubame2_like();
+        let physical: Vec<NodeId> = [10u32, 11, 20, 21].iter().map(|&n| NodeId(n)).collect();
+        let m = topology_aware_map(&g, &t, &physical);
+        let used: std::collections::HashSet<NodeId> = m.iter().copied().collect();
+        assert_eq!(used.len(), 4);
+        for p in &m {
+            assert!(physical.contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough physical nodes")]
+    fn too_few_nodes_panics() {
+        let g = ring_graph(4, 1);
+        let t = NetworkTopology::tsubame2_like();
+        topology_aware_map(&g, &t, &[NodeId(0)]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Fiduccia–Mattheyses-style boundary refinement.
+//!
+//! Greedy passes move boundary vertices to the neighbouring part with the
+//! largest cut-weight gain, subject to the size bounds. Moves with zero or
+//! negative gain are rejected, so each pass monotonically improves the cut
+//! and termination is guaranteed.
+
+use hcft_graph::WeightedGraph;
+
+use crate::SizeBounds;
+
+/// One refinement pass. Returns the total gain achieved (reduction of the
+/// cut weight).
+pub fn refine_pass(
+    g: &WeightedGraph,
+    part_of: &mut [usize],
+    part_weight: &mut [u64],
+    bounds: SizeBounds,
+) -> u64 {
+    let mut total_gain = 0u64;
+    for u in 0..g.n() {
+        let home = part_of[u];
+        // Connectivity of u to each adjacent part.
+        let mut link_home = 0u64;
+        let mut best: Option<(usize, u64)> = None;
+        let mut links: Vec<(usize, u64)> = Vec::new();
+        for &(v, w) in g.neighbors(u) {
+            let p = part_of[v as usize];
+            if p == home {
+                link_home += w;
+            } else {
+                match links.iter_mut().find(|(q, _)| *q == p) {
+                    Some((_, lw)) => *lw += w,
+                    None => links.push((p, w)),
+                }
+            }
+        }
+        for (p, lw) in links {
+            if best.is_none_or(|(_, bw)| lw > bw) {
+                best = Some((p, lw));
+            }
+        }
+        let Some((target, link_target)) = best else {
+            continue;
+        };
+        if link_target <= link_home {
+            continue; // no positive gain
+        }
+        let wu = g.vertex_weight(u);
+        // Respect both bounds: the source must not fall below min, the
+        // target must not exceed max.
+        if part_weight[home] < bounds.min_weight + wu
+            || part_weight[target] + wu > bounds.max_weight
+        {
+            continue;
+        }
+        part_of[u] = target;
+        part_weight[home] -= wu;
+        part_weight[target] += wu;
+        total_gain += link_target - link_home;
+    }
+    total_gain
+}
+
+/// One pairwise-swap pass (Kernighan–Lin style): exchange equal-weight
+/// boundary vertices of adjacent parts when the swap reduces the cut.
+/// Swaps keep part weights unchanged, so they work even under exactly
+/// tight bounds where single moves are impossible. O(boundary²) — only
+/// used on graphs small enough for that to be cheap (node graphs).
+pub fn swap_pass(g: &WeightedGraph, part_of: &mut [usize]) -> u64 {
+    let boundary: Vec<usize> = (0..g.n())
+        .filter(|&u| {
+            g.neighbors(u)
+                .iter()
+                .any(|&(v, _)| part_of[v as usize] != part_of[u])
+        })
+        .collect();
+    let link = |u: usize, p: usize, part_of: &[usize]| -> u64 {
+        g.neighbors(u)
+            .iter()
+            .filter(|&&(v, _)| part_of[v as usize] == p)
+            .map(|&(_, w)| w)
+            .sum()
+    };
+    let mut total_gain = 0u64;
+    for i in 0..boundary.len() {
+        for j in (i + 1)..boundary.len() {
+            let (u, v) = (boundary[i], boundary[j]);
+            let (pu, pv) = (part_of[u], part_of[v]);
+            if pu == pv || g.vertex_weight(u) != g.vertex_weight(v) {
+                continue;
+            }
+            let gain_u = link(u, pv, part_of) as i128 - link(u, pu, part_of) as i128;
+            let gain_v = link(v, pu, part_of) as i128 - link(v, pv, part_of) as i128;
+            let gain = gain_u + gain_v - 2 * g.edge_weight(u, v) as i128;
+            if gain > 0 {
+                part_of[u] = pv;
+                part_of[v] = pu;
+                total_gain += gain as u64;
+            }
+        }
+    }
+    total_gain
+}
+
+/// Largest graph on which the quadratic swap pass is attempted.
+const SWAP_PASS_LIMIT: usize = 512;
+
+/// Run refinement passes until a pass yields no gain (at most
+/// `max_passes`). Falls back to pairwise swaps when single moves dry up,
+/// which matters under exactly tight bounds.
+pub fn refine(
+    g: &WeightedGraph,
+    part_of: &mut [usize],
+    part_weight: &mut [u64],
+    bounds: SizeBounds,
+    max_passes: usize,
+) {
+    for _ in 0..max_passes {
+        let mut gain = refine_pass(g, part_of, part_weight, bounds);
+        if g.n() <= SWAP_PASS_LIMIT {
+            gain += swap_pass(g, part_of);
+        }
+        if gain == 0 {
+            break;
+        }
+    }
+}
+
+
+fn part_weights_for(g: &WeightedGraph, part: &[usize], k: usize) -> Vec<u64> {
+    let mut w = vec![0u64; k];
+    for (u, &p) in part.iter().enumerate() {
+        w[p] += g.vertex_weight(u);
+    }
+    w
+}
+
+/// Move (or swap) vertices between parts until all weight bounds hold. Every
+/// applied change strictly reduces the total bound violation ("excess"),
+/// which guarantees termination — naive over→under shuttling can
+/// oscillate forever once coarsening produces mixed vertex weights under
+/// exactly tight bounds. Gives up (leaving the best assignment found)
+/// when no excess-reducing change exists.
+pub fn repair_bounds(g: &WeightedGraph, part: &mut [usize], k: usize, b: SizeBounds) {
+    let excess = |w: &[u64]| -> u64 {
+        w.iter()
+            .map(|&x| x.saturating_sub(b.max_weight) + b.min_weight.saturating_sub(x))
+            .sum()
+    };
+    let affinity = |u: usize, p: usize, part: &[usize]| -> i128 {
+        g.neighbors(u)
+            .iter()
+            .filter(|&&(v, _)| part[v as usize] == p)
+            .map(|&(_, w)| w as i128)
+            .sum()
+    };
+    let mut weights = part_weights_for(g, part, k);
+    let mut e = excess(&weights);
+    while e > 0 {
+        // Best single move: largest excess reduction, cut affinity as
+        // the tie-break.
+        let mut best_move: Option<(usize, usize, u64, i128)> = None;
+        for u in 0..g.n() {
+            let src = part[u];
+            let w = g.vertex_weight(u);
+            for dst in 0..k {
+                if dst == src {
+                    continue;
+                }
+                let mut nw = weights.clone();
+                nw[src] -= w;
+                nw[dst] += w;
+                let ne = excess(&nw);
+                if ne >= e {
+                    continue;
+                }
+                let aff = affinity(u, dst, part) - affinity(u, src, part);
+                if best_move
+                    .is_none_or(|(_, _, be, ba)| ne < be || (ne == be && aff > ba))
+                {
+                    best_move = Some((u, dst, ne, aff));
+                }
+            }
+        }
+        if let Some((u, dst, ne, _)) = best_move {
+            let src = part[u];
+            let w = g.vertex_weight(u);
+            part[u] = dst;
+            weights[src] -= w;
+            weights[dst] += w;
+            e = ne;
+            continue;
+        }
+        // No single move helps (e.g. only weight-2 vertices with an odd
+        // imbalance): try a pairwise swap that reduces the excess.
+        let mut best_swap: Option<(usize, usize, u64)> = None;
+        for u in 0..g.n() {
+            for v in (u + 1)..g.n() {
+                let (pu, pv) = (part[u], part[v]);
+                if pu == pv {
+                    continue;
+                }
+                let (wu, wv) = (g.vertex_weight(u), g.vertex_weight(v));
+                if wu == wv {
+                    continue; // no weight change
+                }
+                let mut nw = weights.clone();
+                nw[pu] = nw[pu] - wu + wv;
+                nw[pv] = nw[pv] - wv + wu;
+                let ne = excess(&nw);
+                if ne < e && best_swap.is_none_or(|(_, _, be)| ne < be) {
+                    best_swap = Some((u, v, ne));
+                }
+            }
+        }
+        match best_swap {
+            Some((u, v, ne)) => {
+                let (pu, pv) = (part[u], part[v]);
+                let (wu, wv) = (g.vertex_weight(u), g.vertex_weight(v));
+                weights[pu] = weights[pu] - wu + wv;
+                weights[pv] = weights[pv] - wv + wu;
+                part.swap(u, v);
+                e = ne;
+            }
+            None => return, // stuck: bounds unreachable from here
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dense squares joined by one edge, with a deliberately bad
+    /// initial split.
+    fn squares() -> WeightedGraph {
+        let mut g = WeightedGraph::new(8);
+        for base in [0, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(base + i, base + j, 10);
+                }
+            }
+        }
+        g.add_edge(3, 4, 1);
+        g
+    }
+
+    #[test]
+    fn refinement_fixes_a_swapped_pair() {
+        let g = squares();
+        // Swap vertices 0 and 4 relative to the natural split.
+        let mut part = vec![1, 0, 0, 0, 0, 1, 1, 1];
+        let mut pw = vec![4u64, 4];
+        let before = g.cut_weight(&part);
+        // Bounds must leave slack for single-vertex moves: with exactly
+        // tight bounds a pairwise swap can never be expressed as two legal
+        // single moves.
+        refine(&g, &mut part, &mut pw, SizeBounds::new(3, 5), 8);
+        let after = g.cut_weight(&part);
+        assert!(after < before, "cut {before} -> {after}");
+        assert_eq!(after, 1, "optimal split has cut 1");
+        assert_eq!(pw, vec![4, 4]);
+    }
+
+    #[test]
+    fn bounds_block_degenerate_moves() {
+        let g = squares();
+        let mut part = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let mut pw = vec![4u64, 4];
+        // Already optimal; tight bounds must keep it intact.
+        refine(&g, &mut part, &mut pw, SizeBounds::new(4, 4), 4);
+        assert_eq!(part, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn gain_is_reported() {
+        let g = squares();
+        let mut part = vec![1, 0, 0, 0, 0, 1, 1, 1];
+        let mut pw = vec![4u64, 4];
+        let gain = refine_pass(&g, &mut part, &mut pw, SizeBounds::new(3, 5));
+        assert!(gain > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Exact small-scale combinatorics used by the reliability model.
+
+/// Binomial coefficient C(n, k) as f64 (exact for the magnitudes the
+/// model needs; returns 0.0 when `k > n`).
+pub fn choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Hypergeometric probability that a uniformly random `j`-subset of `n`
+/// items contains a *fixed* `r`-subset entirely: C(n−r, j−r) / C(n, j).
+pub fn p_subset_covered(n: usize, j: usize, r: usize) -> f64 {
+    if r > j || j > n {
+        return 0.0;
+    }
+    choose(n - r, j - r) / choose(n, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_basics() {
+        assert_eq!(choose(5, 0), 1.0);
+        assert_eq!(choose(5, 5), 1.0);
+        assert_eq!(choose(5, 2), 10.0);
+        assert_eq!(choose(64, 1), 64.0);
+        assert_eq!(choose(3, 4), 0.0);
+        assert!((choose(64, 2) - 2016.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn choose_is_symmetric() {
+        for n in 0..20 {
+            for k in 0..=n {
+                assert!((choose(n, k) - choose(n, n - k)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_recurrence_holds() {
+        for n in 1..30 {
+            for k in 1..n {
+                let lhs = choose(n, k);
+                let rhs = choose(n - 1, k - 1) + choose(n - 1, k);
+                assert!((lhs - rhs).abs() < 1e-6 * lhs.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_cover_probability() {
+        // Pick 2 of 4; P a fixed single item is included = 1/2.
+        assert!((p_subset_covered(4, 2, 1) - 0.5).abs() < 1e-12);
+        // P a fixed pair is the chosen pair = 1/C(4,2) = 1/6.
+        assert!((p_subset_covered(4, 2, 2) - 1.0 / 6.0).abs() < 1e-12);
+        // Impossible cases.
+        assert_eq!(p_subset_covered(4, 1, 2), 0.0);
+        assert_eq!(p_subset_covered(4, 5, 1), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Failure and reliability models.
+//!
+//! Implements the "catastrophic failure model" the paper takes from FTI
+//! \[3\] and uses for Fig. 4a and Table II's probability column: a failure
+//! event is *catastrophic* when some erasure-coding cluster loses more
+//! members than its parity can rebuild, so the checkpoint data is gone and
+//! the application must fall back to an old PFS checkpoint (or die).
+//!
+//! * [`events`] — the distribution of failure event classes (transient /
+//!   1-node / correlated j-node), calibrated to the FTI observation that
+//!   "most failures … affect only … one single node or a small set of
+//!   nodes";
+//! * [`combinatorics`] — exact hypergeometric machinery;
+//! * [`model`] — P(catastrophic) per clustering: exact enumeration for
+//!   1- and 2-node events, per-cluster knapsack DP + union bound for
+//!   deeper correlated events, cross-validated by Monte Carlo;
+//! * [`arrivals`] — failure arrival processes (exponential and Weibull)
+//!   for end-to-end failure injection.
+
+pub mod arrivals;
+pub mod combinatorics;
+pub mod efficiency;
+pub mod events;
+pub mod model;
+
+pub use arrivals::FailureArrivals;
+pub use efficiency::EfficiencyModel;
+pub use events::EventDistribution;
+pub use model::ReliabilityModel;

@@ -1,0 +1,438 @@
+//! P(catastrophic failure) for a clustering + placement.
+//!
+//! An encoding cluster of size `s` protected by FTI-style Reed–Solomon
+//! tolerates up to `t = ⌈s/2⌉` missing members (see
+//! `hcft_erasure::ReedSolomon::fti_for_group`). A failure event that takes
+//! down a set `F` of nodes destroys, in each cluster, the members placed
+//! on `F`; the event is catastrophic iff some cluster loses more than `t`
+//! members.
+//!
+//! Computation per event cardinality `j`:
+//! * `j = 1` and `j = 2` — exact enumeration;
+//! * `j ≥ 3` — exact per-cluster probability via a knapsack DP over the
+//!   cluster's occupied nodes combined with hypergeometric weights, then
+//!   a union bound across clusters (tight for the small probabilities
+//!   where it is used; replaced by Monte Carlo when the bound is loose).
+
+use hcft_graph::Clustering;
+use hcft_topology::Placement;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::combinatorics::choose;
+use crate::events::EventDistribution;
+
+/// FTI's Reed–Solomon tolerance for an encoding cluster of `s` members:
+/// half the cluster (rounded up) may vanish.
+pub fn fti_tolerance(s: usize) -> usize {
+    s.div_ceil(2)
+}
+
+/// Per-cluster placement digest: which nodes hold how many members.
+struct ClusterNodes {
+    /// (node, member count), nodes distinct.
+    counts: Vec<(usize, u32)>,
+    /// Erasure tolerance of this cluster.
+    tolerance: u32,
+}
+
+/// Reliability model for one machine size and event distribution.
+pub struct ReliabilityModel {
+    nodes: usize,
+    dist: EventDistribution,
+}
+
+impl ReliabilityModel {
+    /// A model over `nodes` physical nodes.
+    pub fn new(nodes: usize, dist: EventDistribution) -> Self {
+        assert!(nodes > 0);
+        ReliabilityModel { nodes, dist }
+    }
+
+    /// Number of nodes modelled.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn digest(
+        &self,
+        clustering: &Clustering,
+        placement: &Placement,
+        tolerance: &dyn Fn(usize) -> usize,
+    ) -> Vec<ClusterNodes> {
+        let mut seen = std::collections::HashSet::new();
+        clustering
+            .iter()
+            .filter_map(|(_, members)| {
+                let mut counts: Vec<(usize, u32)> = Vec::new();
+                for &r in members {
+                    let n = placement.node_of(r).idx();
+                    match counts.iter_mut().find(|(node, _)| *node == n) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((n, 1)),
+                    }
+                }
+                counts.sort_unstable();
+                let tol = tolerance(members.len()) as u32;
+                // Clusters with identical placement signatures live and die
+                // together (e.g. the per-slot L2 clusters of one node
+                // group); keeping one representative keeps the j≥3 union
+                // bound tight instead of over-counting perfectly
+                // correlated clusters.
+                seen.insert((counts.clone(), tol)).then_some(ClusterNodes {
+                    counts,
+                    tolerance: tol,
+                })
+            })
+            .collect()
+    }
+
+    /// Probability that a uniformly random `j`-node failure event is
+    /// catastrophic for this clustering.
+    pub fn q_given_j(
+        &self,
+        j: usize,
+        clustering: &Clustering,
+        placement: &Placement,
+        tolerance: &dyn Fn(usize) -> usize,
+    ) -> f64 {
+        let digests = self.digest(clustering, placement, tolerance);
+        self.q_from_digests(j, &digests)
+    }
+
+    fn q_from_digests(&self, j: usize, digests: &[ClusterNodes]) -> f64 {
+        let n = self.nodes;
+        if j == 0 || j > n {
+            return 0.0;
+        }
+        match j {
+            1 => {
+                let bad = self.singly_bad_nodes(digests);
+                bad.iter().filter(|&&b| b).count() as f64 / n as f64
+            }
+            2 => {
+                let bad = self.singly_bad_nodes(digests);
+                let b = bad.iter().filter(|&&x| x).count();
+                // Pairs touching a singly-bad node are bad outright.
+                let pairs_with_bad = choose(n, 2) - choose(n - b, 2);
+                // Plus pairs of individually-safe nodes that jointly
+                // overwhelm some cluster.
+                let mut joint: std::collections::HashSet<(usize, usize)> =
+                    std::collections::HashSet::new();
+                for d in digests {
+                    for a in 0..d.counts.len() {
+                        for c in (a + 1)..d.counts.len() {
+                            let (na, ca) = d.counts[a];
+                            let (nc, cc) = d.counts[c];
+                            if bad[na] || bad[nc] {
+                                continue;
+                            }
+                            if ca + cc > d.tolerance {
+                                joint.insert((na.min(nc), na.max(nc)));
+                            }
+                        }
+                    }
+                }
+                (pairs_with_bad + joint.len() as f64) / choose(n, 2)
+            }
+            _ => {
+                // Split off the nodes whose loss is *alone* catastrophic:
+                // any j-subset touching one of them is catastrophic, a
+                // hypergeometric term we can compute exactly. The rest of
+                // the probability comes from clusters that need multiple
+                // correlated losses, where the per-cluster union bound is
+                // tight (and Monte Carlo covers the loose remainder).
+                let bad = self.singly_bad_nodes(digests);
+                let b = bad.iter().filter(|&&x| x).count();
+                let p_hit_bad = 1.0 - choose(n - b, j) / choose(n, j);
+                let residual: Vec<&ClusterNodes> = digests
+                    .iter()
+                    .filter(|d| d.counts.iter().all(|&(node, _)| !bad[node]))
+                    .collect();
+                let union: f64 = residual
+                    .iter()
+                    .map(|d| self.q_cluster_exact(j, d))
+                    .sum();
+                if union <= 0.1 {
+                    (p_hit_bad + (1.0 - p_hit_bad) * union).min(1.0)
+                } else if b == 0 {
+                    // Large multi-node-driven probability: sample.
+                    self.monte_carlo_q(j, digests, 16_000, 0x9e3779b97f4a7c15)
+                        .min(1.0)
+                } else {
+                    // Mixed case: sample only the residual structure.
+                    let residual_owned: Vec<ClusterNodes> = residual
+                        .iter()
+                        .map(|d| ClusterNodes {
+                            counts: d.counts.clone(),
+                            tolerance: d.tolerance,
+                        })
+                        .collect();
+                    let q_rest = self
+                        .monte_carlo_q(j, &residual_owned, 16_000, 0x9e3779b97f4a7c15)
+                        .min(1.0);
+                    (p_hit_bad + (1.0 - p_hit_bad) * q_rest).min(1.0)
+                }
+            }
+        }
+    }
+
+    /// `bad[n]` = does losing node `n` alone kill some cluster?
+    fn singly_bad_nodes(&self, digests: &[ClusterNodes]) -> Vec<bool> {
+        let mut bad = vec![false; self.nodes];
+        for d in digests {
+            for &(node, cnt) in &d.counts {
+                if cnt > d.tolerance {
+                    bad[node] = true;
+                }
+            }
+        }
+        bad
+    }
+
+    /// Exact P(cluster dies | j uniformly-random node failures):
+    /// Σ_r D_r · C(N−m, j−r) / C(N, j) with D_r counted by knapsack DP.
+    fn q_cluster_exact(&self, j: usize, d: &ClusterNodes) -> f64 {
+        let m = d.counts.len();
+        let t = d.tolerance as usize;
+        // ways[r][s] = number of r-subsets of the occupied nodes whose
+        // member sum is s (sums capped at t+1: "already dead").
+        let cap = t + 1;
+        let mut ways = vec![vec![0.0f64; cap + 1]; m + 1];
+        ways[0][0] = 1.0;
+        for &(_, cnt) in &d.counts {
+            let cnt = cnt as usize;
+            for r in (0..m).rev() {
+                for s in 0..=cap {
+                    let w = ways[r][s];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let ns = (s + cnt).min(cap);
+                    ways[r + 1][ns] += w;
+                }
+            }
+        }
+        let n = self.nodes;
+        let mut q = 0.0;
+        let denom = choose(n, j);
+        for (r, row) in ways.iter().enumerate() {
+            let dead = row[cap]; // sum > t
+            if dead > 0.0 && r <= j {
+                q += dead * choose(n - m, j - r) / denom;
+            }
+        }
+        q
+    }
+
+    /// Monte-Carlo estimate of q(j) (parallel, deterministic per seed).
+    fn monte_carlo_q(&self, j: usize, digests: &[ClusterNodes], samples: usize, seed: u64) -> f64 {
+        let n = self.nodes;
+        let chunks = 8usize;
+        let per = samples / chunks;
+        let hits: usize = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(c as u64));
+                let mut local = 0usize;
+                for _ in 0..per {
+                    let failed = sample(&mut rng, n, j);
+                    let mut failed_mask = vec![false; n];
+                    for f in failed.iter() {
+                        failed_mask[f] = true;
+                    }
+                    let dead = digests.iter().any(|d| {
+                        let lost: u32 = d
+                            .counts
+                            .iter()
+                            .filter(|&&(node, _)| failed_mask[node])
+                            .map(|&(_, c)| c)
+                            .sum();
+                        lost > d.tolerance
+                    });
+                    if dead {
+                        local += 1;
+                    }
+                }
+                local
+            })
+            .sum();
+        hits as f64 / (per * chunks) as f64
+    }
+
+    /// Public Monte-Carlo estimator (for cross-validating the analytic
+    /// path in tests and benches).
+    pub fn q_given_j_monte_carlo(
+        &self,
+        j: usize,
+        clustering: &Clustering,
+        placement: &Placement,
+        tolerance: &dyn Fn(usize) -> usize,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        let digests = self.digest(clustering, placement, tolerance);
+        self.monte_carlo_q(j, &digests, samples, seed)
+    }
+
+    /// Probability that a random failure event (drawn from the event
+    /// distribution) is catastrophic — the paper's reliability metric
+    /// (Fig. 4a, Table II last column).
+    pub fn p_catastrophic(
+        &self,
+        clustering: &Clustering,
+        placement: &Placement,
+        tolerance: &dyn Fn(usize) -> usize,
+    ) -> f64 {
+        let digests = self.digest(clustering, placement, tolerance);
+        self.dist
+            .p_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let j = i + 1;
+                if p == 0.0 {
+                    0.0
+                } else {
+                    p * self.q_from_digests(j, &digests)
+                }
+            })
+            .sum()
+    }
+}
+
+/// Convenience: P(catastrophic) with the FTI half-cluster tolerance and
+/// the FTI-calibrated event distribution.
+pub fn p_catastrophic_fti(
+    nodes: usize,
+    clustering: &Clustering,
+    placement: &Placement,
+) -> f64 {
+    ReliabilityModel::new(nodes, EventDistribution::fti_calibrated()).p_catastrophic(
+        clustering,
+        placement,
+        &fti_tolerance,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcft_graph::Clustering;
+    use hcft_topology::Placement;
+
+    /// Distributed clustering over a block placement: cluster (g, slot)
+    /// takes the slot-th rank of each node in node-group g.
+    fn distributed(nodes: usize, ppn: usize, size: usize) -> Clustering {
+        let groups = nodes / size;
+        let assignment: Vec<usize> = (0..nodes * ppn)
+            .map(|r| {
+                let node = r / ppn;
+                let slot = r % ppn;
+                let g = node / size;
+                g * ppn + slot
+            })
+            .collect();
+        let _ = groups;
+        Clustering::from_assignment(&assignment)
+    }
+
+    #[test]
+    fn same_node_cluster_dies_on_any_node_failure() {
+        // 8 nodes × 8 ppn, clusters of 8 consecutive = whole nodes.
+        let p = Placement::block(8, 8);
+        let c = Clustering::consecutive(64, 8);
+        let m = ReliabilityModel::new(8, EventDistribution::single_node_only());
+        let q = m.q_given_j(1, &c, &p, &fti_tolerance);
+        assert_eq!(q, 1.0);
+        assert_eq!(m.p_catastrophic(&c, &p, &fti_tolerance), 1.0);
+    }
+
+    #[test]
+    fn two_node_cluster_survives_one_node() {
+        // Clusters of 16 consecutive over nodes of 8: span 2 nodes, lose
+        // 8 of 16, tolerance 8 → survive.
+        let p = Placement::block(8, 8);
+        let c = Clustering::consecutive(64, 16);
+        let m = ReliabilityModel::new(8, EventDistribution::single_node_only());
+        assert_eq!(m.q_given_j(1, &c, &p, &fti_tolerance), 0.0);
+        // But any same-cluster pair dies: bad pairs = 4 of C(8,2)=28.
+        let q2 = m.q_given_j(2, &c, &p, &fti_tolerance);
+        assert!((q2 - 4.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_distributed_cluster_needs_majority_loss() {
+        // 16 nodes × 4 ppn, distributed clusters of 4 (one rank per node
+        // in groups of 4 nodes): tolerance 2, dies only if ≥3 of its 4
+        // nodes fail.
+        let p = Placement::block(16, 4);
+        let c = distributed(16, 4, 4);
+        let m = ReliabilityModel::new(16, EventDistribution::single_node_only());
+        assert_eq!(m.q_given_j(1, &c, &p, &fti_tolerance), 0.0);
+        assert_eq!(m.q_given_j(2, &c, &p, &fti_tolerance), 0.0);
+        let q3 = m.q_given_j(3, &c, &p, &fti_tolerance);
+        // Bad triples: per node-group C(4,3)=4, 4 groups → 16 of C(16,3)=560.
+        // (After signature dedup the union bound is exact here: the four
+        // slot clusters of a node group share one signature, and distinct
+        // groups cannot both lose 3 nodes within a 3-node event.)
+        assert!((q3 - 16.0 / 560.0).abs() < 1e-9, "q3 = {q3}");
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo() {
+        let p = Placement::block(16, 4);
+        let c = distributed(16, 4, 4);
+        let m = ReliabilityModel::new(16, EventDistribution::single_node_only());
+        for j in [3usize, 4, 5] {
+            let analytic = m.q_given_j(j, &c, &p, &fti_tolerance);
+            let mc = m.q_given_j_monte_carlo(j, &c, &p, &fti_tolerance, 200_000, 42);
+            assert!(
+                (analytic - mc).abs() < 0.01 + 0.2 * analytic,
+                "j={j}: analytic {analytic} vs MC {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_ordering_of_clusterings() {
+        // 64 nodes × 16 ppn (the paper's §V layout, Table II).
+        let nodes = 64;
+        let ppn = 16;
+        let p = Placement::block(nodes, ppn);
+        let m = ReliabilityModel::new(nodes, EventDistribution::fti_calibrated());
+        // Size-guided: 8 consecutive (half a node) — dies on any node loss.
+        let size_guided = Clustering::consecutive(1024, 8);
+        // Naïve: 32 consecutive (2 nodes).
+        let naive = Clustering::consecutive(1024, 32);
+        // Distributed 16: slot clusters over groups of 16 nodes.
+        let dist16 = distributed(nodes, ppn, 16);
+        // Hierarchical L2: clusters of 4, one rank per node in groups of 4.
+        let hier = distributed(nodes, ppn, 4);
+        let p_sg = m.p_catastrophic(&size_guided, &p, &fti_tolerance);
+        let p_nv = m.p_catastrophic(&naive, &p, &fti_tolerance);
+        let p_hi = m.p_catastrophic(&hier, &p, &fti_tolerance);
+        let p_ds = m.p_catastrophic(&dist16, &p, &fti_tolerance);
+        // Table II: 0.95 / ~1e-4 / ~1e-6 / ~1e-15.
+        assert!((p_sg - 0.95).abs() < 1e-9, "size-guided {p_sg}");
+        assert!(p_nv > 1e-5 && p_nv < 1e-3, "naive {p_nv}");
+        assert!(p_hi > 1e-7 && p_hi < 1e-5, "hierarchical {p_hi}");
+        assert!(p_ds < 1e-12, "distributed {p_ds}");
+        assert!(p_ds < p_hi && p_hi < p_nv && p_nv < p_sg);
+    }
+
+    #[test]
+    fn q_is_monotone_in_j() {
+        let p = Placement::block(16, 4);
+        let c = distributed(16, 4, 4);
+        let m = ReliabilityModel::new(16, EventDistribution::single_node_only());
+        let mut prev = 0.0;
+        for j in 1..=8 {
+            let q = m.q_given_j(j, &c, &p, &fti_tolerance);
+            assert!(q + 1e-12 >= prev, "q({j}) = {q} < q({}) = {prev}", j - 1);
+            prev = q;
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Communicator handle: point-to-point operations and `split`.
+//!
+//! A `Comm` is owned by exactly one rank thread. Destination and source
+//! arguments are ranks *within this communicator*; tracing always resolves
+//! them to world ranks so the global matrix stays meaningful after a
+//! `split` (FTI replaces the world communicator with an
+//! application-only one at init — §V — and the paper's heat map still
+//! shows world ranks).
+
+use std::cell::Cell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::datatype::{decode, encode, Datum};
+use crate::runtime::Shared;
+use crate::trace::MessageEvent;
+
+/// Highest tag value usable by applications; larger tags are reserved for
+/// collective-internal traffic.
+pub const MAX_USER_TAG: u32 = 0x0FFF_FFFF;
+
+/// Rank membership of a communicator.
+enum Group {
+    /// The world communicator: comm rank == world rank.
+    World,
+    /// A sub-communicator: `members[comm_rank] = world_rank`.
+    Sub(Arc<Vec<u32>>),
+}
+
+/// A communicator bound to the calling rank.
+pub struct Comm {
+    shared: Arc<Shared>,
+    /// Communicator context id (world = 0).
+    ctx: u64,
+    /// This rank's position within the communicator.
+    rank: usize,
+    group: Group,
+    /// Per-(rank, comm) counter making successive `split` contexts unique.
+    split_seq: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn world(shared: Arc<Shared>, world_rank: usize) -> Self {
+        Comm {
+            shared,
+            ctx: 0,
+            rank: world_rank,
+            group: Group::World,
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        match &self.group {
+            Group::World => self.shared.n,
+            Group::Sub(m) => m.len(),
+        }
+    }
+
+    /// World rank of a communicator rank.
+    #[inline]
+    pub fn world_rank_of(&self, comm_rank: usize) -> usize {
+        match &self.group {
+            Group::World => comm_rank,
+            Group::Sub(m) => m[comm_rank] as usize,
+        }
+    }
+
+    /// This rank's world rank.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.world_rank_of(self.rank)
+    }
+
+    /// Set the application *phase* stamped on subsequently traced messages
+    /// (e.g. solver iteration or checkpoint epoch). Used by the
+    /// message-logging replay analysis to reason about rollback points.
+    pub fn set_phase(&self, phase: u64) {
+        self.shared.phases[self.world_rank()].store(phase, Ordering::Relaxed);
+    }
+
+    /// Current phase of this rank.
+    pub fn phase(&self) -> u64 {
+        self.shared.phases[self.world_rank()].load(Ordering::Relaxed)
+    }
+
+    /// Pause/resume trace recording globally (affects all ranks).
+    pub fn set_tracing(&self, on: bool) {
+        self.shared.trace.set_enabled(on);
+    }
+
+    // ----- point to point ------------------------------------------------
+
+    /// Buffered (non-blocking semantics) send of raw bytes.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range destination or a reserved tag.
+    pub fn send_bytes(&self, dst: usize, tag: u32, bytes: &[u8]) {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.send_raw(dst, tag, bytes.to_vec());
+    }
+
+    /// Blocking receive of raw bytes from `src` with `tag`.
+    pub fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.recv_raw(src, tag)
+    }
+
+    /// Typed send: encodes `data` and ships it.
+    pub fn send_slice<T: Datum>(&self, dst: usize, tag: u32, data: &[T]) {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.send_raw(dst, tag, encode(data));
+    }
+
+    /// Typed receive.
+    pub fn recv_vec<T: Datum>(&self, src: usize, tag: u32) -> Vec<T> {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        decode(&self.recv_raw(src, tag))
+    }
+
+    /// Combined send+receive (safe under buffered sends; provided for
+    /// halo-exchange ergonomics).
+    pub fn sendrecv<T: Datum>(
+        &self,
+        dst: usize,
+        send_tag: u32,
+        data: &[T],
+        src: usize,
+        recv_tag: u32,
+    ) -> Vec<T> {
+        self.send_slice(dst, send_tag, data);
+        self.recv_vec(src, recv_tag)
+    }
+
+    pub(crate) fn send_raw(&self, dst: usize, tag: u32, payload: Vec<u8>) {
+        let size = self.size();
+        assert!(dst < size, "dst {dst} out of range (size {size})");
+        let dst_world = self.world_rank_of(dst);
+        let src_world = self.world_rank();
+        self.shared.trace.record(MessageEvent {
+            src: src_world as u32,
+            dst: dst_world as u32,
+            bytes: payload.len() as u64,
+            tag,
+            phase: self.shared.phases[src_world].load(Ordering::Relaxed),
+        });
+        self.shared
+            .deliver(dst_world, (self.ctx, self.rank as u32, tag), payload);
+    }
+
+    pub(crate) fn recv_raw(&self, src: usize, tag: u32) -> Vec<u8> {
+        let size = self.size();
+        assert!(src < size, "src {src} out of range (size {size})");
+        self.shared
+            .blocking_recv(self.world_rank(), (self.ctx, src as u32, tag))
+    }
+
+    // ----- communicator management ---------------------------------------
+
+    /// `MPI_Comm_split`: collective over this communicator. Ranks passing
+    /// the same `color` end up in the same new communicator, ordered by
+    /// `(key, old rank)`. Returns `None` for ranks passing `color: None`.
+    pub fn split(&self, color: Option<u32>, key: i64) -> Option<Comm> {
+        const NO_COLOR: u64 = u64::MAX;
+        // Gather (color, key, world_rank) from everyone, via allgather on
+        // this communicator. Encoded as 3×u64 with key biased to unsigned.
+        let mine = [
+            color.map(|c| c as u64).unwrap_or(NO_COLOR),
+            (key as i128 - i64::MIN as i128) as u64,
+            self.world_rank() as u64,
+        ];
+        let all = self.allgather(&mine);
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        let my_color = color?;
+        let mut members: Vec<(u64, u64, usize)> = all
+            .chunks_exact(3)
+            .enumerate()
+            .filter(|(_, c)| c[0] == my_color as u64)
+            .map(|(comm_rank, c)| (c[1], comm_rank as u64, c[2] as usize))
+            .collect();
+        members.sort_unstable();
+        let world_ranks: Vec<u32> = members.iter().map(|&(_, _, w)| w as u32).collect();
+        let my_world = self.world_rank() as u32;
+        let new_rank = world_ranks
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("caller is in its own color group");
+        // Context id must be identical on all members and distinct from
+        // every other communicator: mix parent ctx, per-parent sequence
+        // number and color through an FNV-style avalanche.
+        let mut ctx = 0xcbf2_9ce4_8422_2325u64;
+        for v in [self.ctx, seq, my_color as u64, 0x9e37_79b9] {
+            ctx ^= v;
+            ctx = ctx.wrapping_mul(0x100_0000_01b3);
+        }
+        Some(Comm {
+            shared: Arc::clone(&self.shared),
+            ctx: ctx | 1, // never collide with the world ctx 0
+            rank: new_rank,
+            group: Group::Sub(Arc::new(world_ranks)),
+            split_seq: Cell::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::World;
+
+    #[test]
+    fn sendrecv_exchanges_between_pair() {
+        let r = World::run(2, |c| {
+            let other = 1 - c.rank();
+            let got = c.sendrecv(other, 1, &[c.rank() as f64], other, 1);
+            got[0]
+        });
+        assert_eq!(r.outputs, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn split_by_parity_forms_two_comms() {
+        let r = World::run(6, |c| {
+            let sub = c.split(Some((c.rank() % 2) as u32), 0).unwrap();
+            // Ring exchange inside the sub-communicator.
+            let next = (sub.rank() + 1) % sub.size();
+            let prev = (sub.rank() + sub.size() - 1) % sub.size();
+            sub.send_slice(next, 2, &[sub.world_rank() as u64]);
+            let got = sub.recv_vec::<u64>(prev, 2)[0];
+            (sub.size(), sub.rank(), got)
+        });
+        for (wr, &(size, rank, got)) in r.outputs.iter().enumerate() {
+            assert_eq!(size, 3);
+            assert_eq!(rank, wr / 2);
+            // Predecessor in my parity class.
+            let expect = if wr >= 2 { wr - 2 } else { wr + 4 };
+            assert_eq!(got as usize, expect, "world rank {wr}");
+        }
+    }
+
+    #[test]
+    fn split_with_none_color_returns_none() {
+        let r = World::run(4, |c| {
+            let sub = c.split((c.rank() != 0).then_some(7), 0);
+            match sub {
+                None => {
+                    assert_eq!(c.rank(), 0);
+                    0
+                }
+                Some(s) => s.size(),
+            }
+        });
+        assert_eq!(r.outputs, vec![0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let r = World::run(4, |c| {
+            // Reverse order via descending key.
+            let sub = c.split(Some(0), -(c.rank() as i64)).unwrap();
+            sub.rank()
+        });
+        assert_eq!(r.outputs, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nested_splits_do_not_cross_talk() {
+        let r = World::run(4, |c| {
+            let half = c.split(Some((c.rank() / 2) as u32), 0).unwrap();
+            let pair = half.split(Some(0), 0).unwrap();
+            let other = 1 - pair.rank();
+            pair.send_slice(other, 1, &[c.rank() as u64]);
+            pair.recv_vec::<u64>(other, 1)[0]
+        });
+        assert_eq!(r.outputs, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn phase_is_stamped_on_events() {
+        let r = World::run_with(
+            2,
+            crate::runtime::WorldConfig {
+                trace_events: true,
+                ..Default::default()
+            },
+            |c| {
+                if c.rank() == 0 {
+                    c.set_phase(41);
+                    c.send_bytes(1, 1, &[0]);
+                    c.set_phase(42);
+                    c.send_bytes(1, 1, &[0]);
+                } else {
+                    c.recv_bytes(0, 1);
+                    c.recv_bytes(0, 1);
+                }
+            },
+        );
+        let ev = r.trace.take_events();
+        assert_eq!(ev[0].iter().map(|e| e.phase).collect::<Vec<_>>(), [41, 42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tags_rejected() {
+        World::run(1, |c| c.send_bytes(0, 0xF000_0000, &[]));
+    }
+}

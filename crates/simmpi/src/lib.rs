@@ -1,0 +1,35 @@
+//! `simmpi` — an in-process, thread-per-rank MPI-like runtime.
+//!
+//! The paper runs its tsunami workload under a modified MPICH2 that traces
+//! every message. We have no cluster and no MPI, so this crate *is* the
+//! substitute substrate: each rank is an OS thread, point-to-point
+//! messages go through per-rank mailboxes, and the collectives implement
+//! the same algorithms MPICH2 uses (notably recursive-doubling allgather,
+//! whose power-of-two communication diagonals are explicitly visible in
+//! the paper's Fig. 5b). A [`TraceRecorder`] observes every byte on the
+//! wire, exactly like the paper's instrumented MPI library.
+//!
+//! Design notes:
+//! * **Buffered sends** — `send` never blocks, so naive SPMD exchange
+//!   patterns cannot deadlock; `recv` blocks with a watchdog timeout that
+//!   converts genuine deadlocks into a panic naming rank/src/tag.
+//! * **Communicators** — `Comm::split` implements `MPI_Comm_split` on top
+//!   of an allgather; sub-communicator traffic is still traced in *world*
+//!   ranks so the global communication matrix stays coherent.
+//! * **Determinism** — matching is FIFO per (communicator, sender, tag),
+//!   and there is no wildcard receive, so applications written against
+//!   this API are send-deterministic — the property HydEE requires of its
+//!   MPI applications.
+
+pub mod collectives;
+pub mod comm;
+pub mod datatype;
+pub mod nonblocking;
+pub mod runtime;
+pub mod trace;
+
+pub use comm::Comm;
+pub use datatype::Datum;
+pub use nonblocking::{wait_all, RecvRequest};
+pub use runtime::{World, WorldConfig};
+pub use trace::{MessageEvent, TraceRecorder};

@@ -1,0 +1,163 @@
+//! Nonblocking point-to-point operations.
+//!
+//! Real stencil codes post `MPI_Irecv`/`MPI_Isend` for all neighbours and
+//! `MPI_Waitall` once — the pattern the paper's tsunami code uses on
+//! MPICH2. Because this runtime's sends are buffered, `isend` completes
+//! immediately; `irecv` returns a [`RecvRequest`] that resolves on
+//! [`RecvRequest::wait`] (or in a batch via [`wait_all`]).
+//!
+//! Requests are checked at drop time: forgetting to wait on a receive is
+//! a correctness bug (the message would be silently lost), so an
+//! unwaited `RecvRequest` panics — the moral equivalent of MPI's
+//! "pending request leaked" error.
+
+use crate::comm::Comm;
+use crate::datatype::{decode, Datum};
+
+/// A pending receive posted with [`Comm::irecv`].
+#[must_use = "a posted receive must be waited on"]
+pub struct RecvRequest<'a> {
+    comm: &'a Comm,
+    src: usize,
+    tag: u32,
+    done: bool,
+}
+
+impl<'a> RecvRequest<'a> {
+    /// Block until the message arrives and return its payload.
+    pub fn wait_bytes(mut self) -> Vec<u8> {
+        self.done = true;
+        self.comm.recv_bytes(self.src, self.tag)
+    }
+
+    /// Block until the message arrives and decode it.
+    pub fn wait<T: Datum>(mut self) -> Vec<T> {
+        self.done = true;
+        decode(&self.comm.recv_bytes(self.src, self.tag))
+    }
+
+    /// The posted source rank.
+    pub fn source(&self) -> usize {
+        self.src
+    }
+
+    /// The posted tag.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+}
+
+impl Drop for RecvRequest<'_> {
+    fn drop(&mut self) {
+        if !self.done && !std::thread::panicking() {
+            panic!(
+                "RecvRequest (src {}, tag {:#x}) dropped without wait",
+                self.src, self.tag
+            );
+        }
+    }
+}
+
+impl Comm {
+    /// Post a nonblocking receive. The returned request must be waited.
+    pub fn irecv(&self, src: usize, tag: u32) -> RecvRequest<'_> {
+        assert!(src < self.size(), "src {src} out of range");
+        assert!(tag <= crate::comm::MAX_USER_TAG, "tag {tag:#x} is reserved");
+        RecvRequest {
+            comm: self,
+            src,
+            tag,
+            done: false,
+        }
+    }
+
+    /// Nonblocking send. Buffered semantics: the payload is enqueued
+    /// immediately and the call never blocks (the analogue of MPI's
+    /// `MPI_Ibsend` completing at once).
+    pub fn isend<T: Datum>(&self, dst: usize, tag: u32, data: &[T]) {
+        self.send_slice(dst, tag, data);
+    }
+}
+
+/// Wait on a batch of receives, returning payloads in posting order —
+/// `MPI_Waitall` for this runtime.
+pub fn wait_all<T: Datum>(requests: Vec<RecvRequest<'_>>) -> Vec<Vec<T>> {
+    requests.into_iter().map(RecvRequest::wait).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::World;
+
+    #[test]
+    fn irecv_before_send_resolves() {
+        let r = World::run(2, |c| {
+            if c.rank() == 0 {
+                let req = c.irecv(1, 5);
+                // The message is sent after the receive is posted.
+                c.send_slice(1, 6, &[0u8]); // tell rank 1 to go
+                req.wait::<u64>()
+            } else {
+                c.recv_bytes(0, 6);
+                c.isend(0, 5, &[99u64]);
+                vec![]
+            }
+        });
+        assert_eq!(r.outputs[0], vec![99]);
+    }
+
+    #[test]
+    fn wait_all_preserves_posting_order() {
+        let r = World::run(4, |c| {
+            if c.rank() == 0 {
+                let reqs: Vec<_> = (1..4).map(|src| c.irecv(src, 1)).collect();
+                wait_all::<u64>(reqs)
+                    .into_iter()
+                    .map(|v| v[0])
+                    .collect::<Vec<_>>()
+            } else {
+                c.isend(0, 1, &[c.rank() as u64 * 10]);
+                vec![]
+            }
+        });
+        assert_eq!(r.outputs[0], vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn halo_pattern_with_nonblocking_ops() {
+        // The canonical stencil exchange: post all receives, send all
+        // edges, wait all.
+        let r = World::run(3, |c| {
+            let left = (c.rank() + 2) % 3;
+            let right = (c.rank() + 1) % 3;
+            let r_left = c.irecv(left, 7);
+            let r_right = c.irecv(right, 8);
+            c.isend(right, 7, &[c.rank() as f64]);
+            c.isend(left, 8, &[c.rank() as f64]);
+            (r_left.wait::<f64>()[0], r_right.wait::<f64>()[0])
+        });
+        assert_eq!(r.outputs[1], (0.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped without wait")]
+    fn leaked_request_panics() {
+        World::run(1, |c| {
+            let _req = c.irecv(0, 1);
+            // dropped unwaited
+        });
+    }
+
+    #[test]
+    fn request_metadata_is_visible() {
+        World::run(1, |c| {
+            let req = c.irecv(0, 3);
+            assert_eq!(req.source(), 0);
+            assert_eq!(req.tag(), 3);
+            c.isend(0, 3, &[1u8]);
+            let got = req.wait_bytes();
+            assert_eq!(got, vec![1]);
+        });
+    }
+}

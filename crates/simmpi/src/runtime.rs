@@ -1,0 +1,270 @@
+//! World construction: one OS thread per rank, shared mailboxes.
+//!
+//! 1088 ranks (the paper's largest job) means 1088 threads; with 512 KiB
+//! stacks that is ~0.5 GiB of reserved (mostly untouched) address space —
+//! cheap on Linux. Threads block on condvars while waiting for messages,
+//! so oversubscription costs context switches only when traffic flows.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+use crate::trace::TraceRecorder;
+
+/// Message-queue key: (communicator context, sender comm-rank, tag).
+pub(crate) type MsgKey = (u64, u32, u32);
+
+/// Per-rank mailbox with FIFO queues per (ctx, src, tag).
+pub(crate) struct Mailbox {
+    pub(crate) queues: Mutex<HashMap<MsgKey, std::collections::VecDeque<Vec<u8>>>>,
+    pub(crate) cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queues: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// State shared by all ranks of a world.
+pub(crate) struct Shared {
+    pub(crate) n: usize,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) trace: Arc<TraceRecorder>,
+    pub(crate) phases: Vec<AtomicU64>,
+    pub(crate) recv_timeout: Duration,
+}
+
+impl Shared {
+    /// Block until a message matching `key` arrives in `rank`'s mailbox.
+    /// Panics with a diagnostic if `recv_timeout` elapses — a deadlocked
+    /// SPMD program is a bug we want loudly, not a hung test suite.
+    pub(crate) fn blocking_recv(&self, rank: usize, key: MsgKey) -> Vec<u8> {
+        let mb = &self.mailboxes[rank];
+        let deadline = Instant::now() + self.recv_timeout;
+        let mut queues = mb.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&key) {
+                if let Some(msg) = q.pop_front() {
+                    if q.is_empty() {
+                        queues.remove(&key);
+                    }
+                    return msg;
+                }
+            }
+            if mb.cv.wait_until(&mut queues, deadline).timed_out() {
+                panic!(
+                    "simmpi deadlock: rank {rank} waited {:?} for (ctx={}, src={}, tag={:#x})",
+                    self.recv_timeout, key.0, key.1, key.2
+                );
+            }
+        }
+    }
+
+    /// Deposit a message into `dst`'s mailbox.
+    pub(crate) fn deliver(&self, dst: usize, key: MsgKey, payload: Vec<u8>) {
+        let mb = &self.mailboxes[dst];
+        mb.queues.lock().entry(key).or_default().push_back(payload);
+        mb.cv.notify_all();
+    }
+}
+
+/// Tunables for a world run.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Per-rank thread stack size in bytes.
+    pub stack_size: usize,
+    /// How long a blocking receive may wait before declaring deadlock.
+    pub recv_timeout: Duration,
+    /// Also keep the ordered per-sender event log (needed by the
+    /// message-logging analyses; costs memory per message).
+    pub trace_events: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            stack_size: 512 * 1024,
+            recv_timeout: Duration::from_secs(60),
+            trace_events: false,
+        }
+    }
+}
+
+/// A finished world run: per-rank outputs (rank-ordered) plus the trace.
+pub struct WorldResult<T> {
+    /// The value returned by each rank's closure, indexed by world rank.
+    pub outputs: Vec<T>,
+    /// The recorded communication trace.
+    pub trace: Arc<TraceRecorder>,
+}
+
+/// Entry point: spawn `n` ranks and run `f` on each.
+pub struct World;
+
+impl World {
+    /// Run `f(comm)` on `n` ranks with default configuration.
+    pub fn run<T, F>(n: usize, f: F) -> WorldResult<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        Self::run_with(n, WorldConfig::default(), f)
+    }
+
+    /// Run `f(comm)` on `n` ranks with explicit configuration.
+    ///
+    /// # Panics
+    /// Re-raises the first rank panic (annotated with the rank) and panics
+    /// on deadlock via the receive watchdog.
+    pub fn run_with<T, F>(n: usize, cfg: WorldConfig, f: F) -> WorldResult<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(n > 0, "world needs at least one rank");
+        let trace = Arc::new(TraceRecorder::new(n, cfg.trace_events));
+        let shared = Arc::new(Shared {
+            n,
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            trace: Arc::clone(&trace),
+            phases: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            recv_timeout: cfg.recv_timeout,
+        });
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let shared = Arc::clone(&shared);
+            let f = Arc::clone(&f);
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(cfg.stack_size)
+                .spawn(move || {
+                    let mut comm = Comm::world(shared, rank);
+                    f(&mut comm)
+                })
+                .expect("spawn rank thread");
+            handles.push(handle);
+        }
+        let mut outputs = Vec::with_capacity(n);
+        let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(v) => outputs.push(v),
+                Err(e) => {
+                    if panicked.is_none() {
+                        panicked = Some((rank, e));
+                    }
+                }
+            }
+        }
+        if let Some((rank, e)) = panicked {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!("rank {rank} panicked: {msg}");
+        }
+        WorldResult { outputs, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let r = World::run(1, |c| c.rank() * 10 + c.size());
+        assert_eq!(r.outputs, vec![1]);
+    }
+
+    #[test]
+    fn outputs_are_rank_ordered() {
+        let r = World::run(8, |c| c.rank());
+        assert_eq!(r.outputs, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_traced() {
+        let r = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 7, &[1, 2, 3]);
+                c.recv_bytes(1, 8)
+            } else {
+                let m = c.recv_bytes(0, 7);
+                c.send_bytes(0, 8, &[9; 5]);
+                m
+            }
+        });
+        assert_eq!(r.outputs[0], vec![9; 5]);
+        assert_eq!(r.outputs[1], vec![1, 2, 3]);
+        let m = r.trace.byte_matrix();
+        assert_eq!(m.get(0, 1), 3);
+        assert_eq!(m.get(1, 0), 5);
+    }
+
+    #[test]
+    fn fifo_order_per_sender_tag() {
+        let r = World::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10u8 {
+                    c.send_bytes(1, 3, &[i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| c.recv_bytes(0, 3)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(r.outputs[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn recv_without_send_deadlocks_loudly() {
+        let cfg = WorldConfig {
+            recv_timeout: Duration::from_millis(50),
+            ..WorldConfig::default()
+        };
+        World::run_with(2, cfg, |c| {
+            if c.rank() == 1 {
+                c.recv_bytes(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked: boom")]
+    fn rank_panic_is_annotated() {
+        World::run(3, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn many_ranks_all_to_one() {
+        let r = World::run(64, |c| {
+            if c.rank() == 0 {
+                let mut sum = 0u64;
+                for src in 1..c.size() {
+                    sum += c.recv_vec::<u64>(src, 1)[0];
+                }
+                sum
+            } else {
+                c.send_slice(0, 1, &[c.rank() as u64]);
+                0
+            }
+        });
+        assert_eq!(r.outputs[0], (1..64).sum::<u64>());
+    }
+}

@@ -1,0 +1,193 @@
+//! Message tracing — the stand-in for the paper's modified MPICH2.
+//!
+//! Two views are recorded:
+//! * a dense **byte matrix** over world ranks (atomics, contention-free
+//!   because each cell is touched by a single sender at a time in
+//!   practice) — this becomes Fig. 5a/5b and feeds every clustering
+//!   metric;
+//! * an optional **ordered event log per sender** carrying the
+//!   application-defined *phase* (iteration / checkpoint epoch), which the
+//!   message-logging replay simulation consumes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use hcft_graph::CommMatrix;
+use parking_lot::Mutex;
+
+/// One traced point-to-point message (collective steps decompose into
+/// these too, exactly as a PMPI tracer would see them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageEvent {
+    /// Sender world rank.
+    pub src: u32,
+    /// Receiver world rank.
+    pub dst: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Message tag (collective-internal tags have the top bits set).
+    pub tag: u32,
+    /// Application phase at send time (see [`crate::Comm::set_phase`]).
+    pub phase: u64,
+}
+
+/// Concurrent trace sink shared by all ranks of a [`crate::World`].
+pub struct TraceRecorder {
+    n: usize,
+    bytes: Vec<AtomicU64>,
+    msgs: Vec<AtomicU64>,
+    events: Option<Vec<Mutex<Vec<MessageEvent>>>>,
+    enabled: AtomicBool,
+}
+
+impl TraceRecorder {
+    /// A recorder over `n` world ranks. `with_events` additionally keeps
+    /// the per-sender ordered event log (costs memory proportional to the
+    /// message count).
+    pub fn new(n: usize, with_events: bool) -> Self {
+        TraceRecorder {
+            n,
+            bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            events: with_events.then(|| (0..n).map(|_| Mutex::new(Vec::new())).collect()),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Number of world ranks covered.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Pause/resume recording (e.g. to exclude a warm-up phase).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Record one message. Called by the runtime on every send.
+    pub fn record(&self, ev: MessageEvent) {
+        if !self.enabled.load(Ordering::Acquire) {
+            return;
+        }
+        let cell = ev.src as usize * self.n + ev.dst as usize;
+        self.bytes[cell].fetch_add(ev.bytes, Ordering::Relaxed);
+        self.msgs[cell].fetch_add(1, Ordering::Relaxed);
+        if let Some(logs) = &self.events {
+            logs[ev.src as usize].lock().push(ev);
+        }
+    }
+
+    /// Snapshot the byte matrix.
+    pub fn byte_matrix(&self) -> CommMatrix {
+        let mut m = CommMatrix::new(self.n);
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let b = self.bytes[s * self.n + d].load(Ordering::Relaxed);
+                if b > 0 {
+                    m.add(s, d, b);
+                }
+            }
+        }
+        m
+    }
+
+    /// Snapshot the message-count matrix.
+    pub fn count_matrix(&self) -> CommMatrix {
+        let mut m = CommMatrix::new(self.n);
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let c = self.msgs[s * self.n + d].load(Ordering::Relaxed);
+                if c > 0 {
+                    m.add(s, d, c);
+                }
+            }
+        }
+        m
+    }
+
+    /// Total traced bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total traced messages.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Drain the ordered event logs (sender-major). Empty if the recorder
+    /// was built without event logging.
+    pub fn take_events(&self) -> Vec<Vec<MessageEvent>> {
+        match &self.events {
+            None => Vec::new(),
+            Some(logs) => logs.iter().map(|l| std::mem::take(&mut *l.lock())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: u32, dst: u32, bytes: u64) -> MessageEvent {
+        MessageEvent {
+            src,
+            dst,
+            bytes,
+            tag: 0,
+            phase: 0,
+        }
+    }
+
+    #[test]
+    fn records_bytes_and_counts() {
+        let t = TraceRecorder::new(3, false);
+        t.record(ev(0, 1, 10));
+        t.record(ev(0, 1, 5));
+        t.record(ev(2, 0, 7));
+        let b = t.byte_matrix();
+        assert_eq!(b.get(0, 1), 15);
+        assert_eq!(b.get(2, 0), 7);
+        assert_eq!(t.count_matrix().get(0, 1), 2);
+        assert_eq!(t.total_bytes(), 22);
+        assert_eq!(t.total_messages(), 3);
+    }
+
+    #[test]
+    fn disable_suppresses_recording() {
+        let t = TraceRecorder::new(2, false);
+        t.record(ev(0, 1, 1));
+        t.set_enabled(false);
+        t.record(ev(0, 1, 100));
+        t.set_enabled(true);
+        t.record(ev(0, 1, 2));
+        assert_eq!(t.total_bytes(), 3);
+    }
+
+    #[test]
+    fn event_log_preserves_sender_order() {
+        let t = TraceRecorder::new(2, true);
+        t.record(MessageEvent {
+            src: 0,
+            dst: 1,
+            bytes: 1,
+            tag: 9,
+            phase: 3,
+        });
+        t.record(ev(0, 1, 2));
+        let logs = t.take_events();
+        assert_eq!(logs[0].len(), 2);
+        assert_eq!(logs[0][0].tag, 9);
+        assert_eq!(logs[0][0].phase, 3);
+        assert_eq!(logs[0][1].bytes, 2);
+        assert!(logs[1].is_empty());
+        // Drained.
+        assert!(t.take_events()[0].is_empty());
+    }
+
+    #[test]
+    fn no_event_log_when_disabled_at_construction() {
+        let t = TraceRecorder::new(2, false);
+        t.record(ev(0, 1, 1));
+        assert!(t.take_events().is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers for ranks and nodes.
+//!
+//! Keeping these as newtypes over `u32` (rather than bare `usize`) prevents
+//! the classic bug of indexing a node table with a rank, while staying
+//! 4 bytes so that large id vectors stay cache-friendly.
+
+use std::fmt;
+
+/// An MPI-style process rank, global to the job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub u32);
+
+/// A physical compute node identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl Rank {
+    /// The rank as a usable index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The node id as a usable index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Rank {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        Rank(v as u32)
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        NodeId(v as u32)
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_roundtrip() {
+        let r = Rank::from(17usize);
+        assert_eq!(r.idx(), 17);
+        assert_eq!(format!("{r}"), "17");
+        assert_eq!(format!("{r:?}"), "r17");
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        let n = NodeId::from(3usize);
+        assert_eq!(n.idx(), 3);
+        assert_eq!(format!("{n}"), "3");
+        assert_eq!(format!("{n:?}"), "n3");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Rank(2) < Rank(10));
+        assert!(NodeId(0) < NodeId(1));
+    }
+}

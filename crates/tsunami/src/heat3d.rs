@@ -1,0 +1,493 @@
+//! A second workload: 3-D heat diffusion (seven-point stencil).
+//!
+//! §V closes with "the same results are expected for other HPC
+//! applications" — this module provides the test vehicle: an explicit
+//! 3-D diffusion solver with block decomposition and six-direction halo
+//! exchange, structurally different from the tsunami code (three
+//! dimensions, one field, different neighbour distances) but in the same
+//! stencil class. The parallel solver is bit-identical to its sequential
+//! reference, like the 2-D one.
+
+use hcft_simmpi::Comm;
+
+/// Parameters of a 3-D diffusion run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Heat3dParams {
+    /// Global cells in x, y, z.
+    pub dims: (usize, usize, usize),
+    /// Process grid in x, y, z (product must equal the rank count).
+    pub process_grid: (usize, usize, usize),
+    /// Diffusion number α·dt/dx² (stability requires ≤ 1/6 in 3-D).
+    pub r: f64,
+}
+
+impl Heat3dParams {
+    /// A stable configuration on a `dims` grid with the given process
+    /// grid.
+    pub fn stable(dims: (usize, usize, usize), process_grid: (usize, usize, usize)) -> Self {
+        Heat3dParams {
+            dims,
+            process_grid,
+            r: 1.0 / 8.0,
+        }
+    }
+
+    fn initial(&self, x: usize, y: usize, z: usize) -> f64 {
+        // A hot brick in the centre of the domain.
+        let inside = |v: usize, n: usize| v >= n / 3 && v < 2 * n / 3;
+        if inside(x, self.dims.0) && inside(y, self.dims.1) && inside(z, self.dims.2) {
+            100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-rank block bounds in one dimension.
+fn block(n: usize, parts: usize, idx: usize) -> (usize, usize) {
+    crate::decomp::block_range(n, parts, idx)
+}
+
+/// One rank's state: temperature with a one-cell halo on all six faces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Heat3dState {
+    p: Heat3dParams,
+    /// This rank's process-grid coordinates.
+    c: (usize, usize, usize),
+    /// Owned extents.
+    lo: (usize, usize, usize),
+    ln: (usize, usize, usize),
+    /// Field with halo: (lnx+2)(lny+2)(lnz+2), x fastest.
+    t: Vec<f64>,
+    iter: u64,
+}
+
+/// The six halo faces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Face {
+    /// −x / +x.
+    West,
+    /// +x.
+    East,
+    /// −y.
+    North,
+    /// +y.
+    South,
+    /// −z.
+    Down,
+    /// +z.
+    Up,
+}
+
+impl Face {
+    /// All faces.
+    pub const ALL: [Face; 6] = [
+        Face::West,
+        Face::East,
+        Face::North,
+        Face::South,
+        Face::Down,
+        Face::Up,
+    ];
+
+    /// The face a message sent through this one arrives on.
+    pub fn opposite(self) -> Face {
+        match self {
+            Face::West => Face::East,
+            Face::East => Face::West,
+            Face::North => Face::South,
+            Face::South => Face::North,
+            Face::Down => Face::Up,
+            Face::Up => Face::Down,
+        }
+    }
+}
+
+impl Heat3dState {
+    /// Initialise rank `rank`'s block.
+    ///
+    /// # Panics
+    /// Panics if the process grid does not cover `nprocs` or exceeds the
+    /// domain.
+    pub fn new(p: &Heat3dParams, nprocs: usize, rank: usize) -> Self {
+        let (px, py, pz) = p.process_grid;
+        assert_eq!(px * py * pz, nprocs, "process grid covers nprocs");
+        assert!(
+            px <= p.dims.0 && py <= p.dims.1 && pz <= p.dims.2,
+            "more processes than cells"
+        );
+        let cx = rank % px;
+        let cy = (rank / px) % py;
+        let cz = rank / (px * py);
+        let (x0, lnx) = block(p.dims.0, px, cx);
+        let (y0, lny) = block(p.dims.1, py, cy);
+        let (z0, lnz) = block(p.dims.2, pz, cz);
+        let mut t = vec![0.0; (lnx + 2) * (lny + 2) * (lnz + 2)];
+        for k in 0..lnz {
+            for j in 0..lny {
+                for i in 0..lnx {
+                    let idx = (k + 1) * (lnx + 2) * (lny + 2) + (j + 1) * (lnx + 2) + i + 1;
+                    t[idx] = p.initial(x0 + i, y0 + j, z0 + k);
+                }
+            }
+        }
+        Heat3dState {
+            p: p.clone(),
+            c: (cx, cy, cz),
+            lo: (x0, y0, z0),
+            ln: (lnx, lny, lnz),
+            t,
+            iter: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        // Halo coordinates (interior cell (i,j,k) at (+1,+1,+1)).
+        (k) * (self.ln.0 + 2) * (self.ln.1 + 2) + (j) * (self.ln.0 + 2) + i
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> u64 {
+        self.iter
+    }
+
+    /// Owned extents.
+    pub fn extents(&self) -> (usize, usize, usize) {
+        self.ln
+    }
+
+    /// The neighbour rank across a face, if any.
+    pub fn neighbor(&self, f: Face) -> Option<usize> {
+        let (px, py, _pz) = self.p.process_grid;
+        let (cx, cy, cz) = self.c;
+        let at = |x: usize, y: usize, z: usize| z * px * py + y * px + x;
+        match f {
+            Face::West => (cx > 0).then(|| at(cx - 1, cy, cz)),
+            Face::East => (cx + 1 < px).then(|| at(cx + 1, cy, cz)),
+            Face::North => (cy > 0).then(|| at(cx, cy - 1, cz)),
+            Face::South => (cy + 1 < py).then(|| at(cx, cy + 1, cz)),
+            Face::Down => (cz > 0).then(|| at(cx, cy, cz - 1)),
+            Face::Up => (cz + 1 < self.p.process_grid.2).then(|| at(cx, cy, cz + 1)),
+        }
+    }
+
+    /// Extract the outgoing face plane.
+    pub fn face_out(&self, f: Face) -> Vec<f64> {
+        let (lnx, lny, lnz) = self.ln;
+        let mut out = Vec::new();
+        let pick = |out: &mut Vec<f64>, fix_dim: usize, fix: usize| {
+            match fix_dim {
+                0 => {
+                    for k in 1..=lnz {
+                        for j in 1..=lny {
+                            out.push(self.t[self.idx(fix, j, k)]);
+                        }
+                    }
+                }
+                1 => {
+                    for k in 1..=lnz {
+                        for i in 1..=lnx {
+                            out.push(self.t[self.idx(i, fix, k)]);
+                        }
+                    }
+                }
+                _ => {
+                    for j in 1..=lny {
+                        for i in 1..=lnx {
+                            out.push(self.t[self.idx(i, j, fix)]);
+                        }
+                    }
+                }
+            }
+        };
+        match f {
+            Face::West => pick(&mut out, 0, 1),
+            Face::East => pick(&mut out, 0, lnx),
+            Face::North => pick(&mut out, 1, 1),
+            Face::South => pick(&mut out, 1, lny),
+            Face::Down => pick(&mut out, 2, 1),
+            Face::Up => pick(&mut out, 2, lnz),
+        }
+        out
+    }
+
+    /// Install a received halo plane on face `f`.
+    ///
+    /// # Panics
+    /// Panics on a wrong plane size.
+    pub fn set_halo(&mut self, f: Face, vals: &[f64]) {
+        let (lnx, lny, lnz) = self.ln;
+        let expect = match f {
+            Face::West | Face::East => lny * lnz,
+            Face::North | Face::South => lnx * lnz,
+            Face::Down | Face::Up => lnx * lny,
+        };
+        assert_eq!(vals.len(), expect, "halo plane size");
+        let mut it = vals.iter();
+        match f {
+            Face::West | Face::East => {
+                let i = if f == Face::West { 0 } else { lnx + 1 };
+                for k in 1..=lnz {
+                    for j in 1..=lny {
+                        let idx = self.idx(i, j, k);
+                        self.t[idx] = *it.next().expect("sized above");
+                    }
+                }
+            }
+            Face::North | Face::South => {
+                let j = if f == Face::North { 0 } else { lny + 1 };
+                for k in 1..=lnz {
+                    for i in 1..=lnx {
+                        let idx = self.idx(i, j, k);
+                        self.t[idx] = *it.next().expect("sized above");
+                    }
+                }
+            }
+            Face::Down | Face::Up => {
+                let k = if f == Face::Down { 0 } else { lnz + 1 };
+                for j in 1..=lny {
+                    for i in 1..=lnx {
+                        let idx = self.idx(i, j, k);
+                        self.t[idx] = *it.next().expect("sized above");
+                    }
+                }
+            }
+        }
+    }
+
+    /// One explicit diffusion step (halos must be installed). Domain
+    /// boundaries are insulated (zero-flux): the halo on a physical
+    /// boundary mirrors the interior cell.
+    pub fn update(&mut self) {
+        let (lnx, lny, lnz) = self.ln;
+        // Physical boundaries: mirror.
+        let (px, py, pz) = self.p.process_grid;
+        let (cx, cy, cz) = self.c;
+        for k in 1..=lnz {
+            for j in 1..=lny {
+                if cx == 0 {
+                    let v = self.t[self.idx(1, j, k)];
+                    let idx = self.idx(0, j, k);
+                    self.t[idx] = v;
+                }
+                if cx + 1 == px {
+                    let v = self.t[self.idx(lnx, j, k)];
+                    let idx = self.idx(lnx + 1, j, k);
+                    self.t[idx] = v;
+                }
+            }
+        }
+        for k in 1..=lnz {
+            for i in 1..=lnx {
+                if cy == 0 {
+                    let v = self.t[self.idx(i, 1, k)];
+                    let idx = self.idx(i, 0, k);
+                    self.t[idx] = v;
+                }
+                if cy + 1 == py {
+                    let v = self.t[self.idx(i, lny, k)];
+                    let idx = self.idx(i, lny + 1, k);
+                    self.t[idx] = v;
+                }
+            }
+        }
+        for j in 1..=lny {
+            for i in 1..=lnx {
+                if cz == 0 {
+                    let v = self.t[self.idx(i, j, 1)];
+                    let idx = self.idx(i, j, 0);
+                    self.t[idx] = v;
+                }
+                if cz + 1 == pz {
+                    let v = self.t[self.idx(i, j, lnz)];
+                    let idx = self.idx(i, j, lnz + 1);
+                    self.t[idx] = v;
+                }
+            }
+        }
+        let r = self.p.r;
+        let mut next = self.t.clone();
+        for k in 1..=lnz {
+            for j in 1..=lny {
+                for i in 1..=lnx {
+                    let c = self.t[self.idx(i, j, k)];
+                    let sum = self.t[self.idx(i - 1, j, k)]
+                        + self.t[self.idx(i + 1, j, k)]
+                        + self.t[self.idx(i, j - 1, k)]
+                        + self.t[self.idx(i, j + 1, k)]
+                        + self.t[self.idx(i, j, k - 1)]
+                        + self.t[self.idx(i, j, k + 1)];
+                    next[self.idx(i, j, k)] = c + r * (sum - 6.0 * c);
+                }
+            }
+        }
+        self.t = next;
+        self.iter += 1;
+    }
+
+    /// Interior field, x fastest.
+    pub fn local_field(&self) -> Vec<f64> {
+        let (lnx, lny, lnz) = self.ln;
+        let mut out = Vec::with_capacity(lnx * lny * lnz);
+        for k in 1..=lnz {
+            for j in 1..=lny {
+                for i in 1..=lnx {
+                    out.push(self.t[self.idx(i, j, k)]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Owned offsets.
+    pub fn offsets(&self) -> (usize, usize, usize) {
+        self.lo
+    }
+}
+
+const TAG_FACE_BASE: u32 = 40;
+
+fn face_tag(f: Face) -> u32 {
+    TAG_FACE_BASE
+        + match f {
+            Face::West => 0,
+            Face::East => 1,
+            Face::North => 2,
+            Face::South => 3,
+            Face::Down => 4,
+            Face::Up => 5,
+        }
+}
+
+/// Run `iters` steps of the 3-D solver on a communicator, returning the
+/// final local field.
+pub fn run_heat3d(comm: &Comm, p: &Heat3dParams, iters: u64) -> Heat3dState {
+    let mut st = Heat3dState::new(p, comm.size(), comm.rank());
+    for _ in 0..iters {
+        comm.set_phase(st.iteration());
+        let mut pending = Vec::new();
+        for f in Face::ALL {
+            if let Some(nbr) = st.neighbor(f) {
+                pending.push((f, comm.irecv(nbr, face_tag(f.opposite()))));
+            }
+        }
+        for f in Face::ALL {
+            if let Some(nbr) = st.neighbor(f) {
+                comm.isend(nbr, face_tag(f), &st.face_out(f));
+            }
+        }
+        for (f, req) in pending {
+            let vals = req.wait::<f64>();
+            st.set_halo(f, &vals);
+        }
+        st.update();
+    }
+    st
+}
+
+/// Sequential reference: the same arithmetic on one rank.
+pub fn solve_heat3d_sequential(dims: (usize, usize, usize), iters: u64) -> Vec<f64> {
+    let p = Heat3dParams::stable(dims, (1, 1, 1));
+    let mut st = Heat3dState::new(&p, 1, 0);
+    for _ in 0..iters {
+        st.update();
+    }
+    st.local_field()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcft_simmpi::World;
+
+    fn gather_global(
+        states: &[Heat3dState],
+        dims: (usize, usize, usize),
+    ) -> Vec<f64> {
+        let mut global = vec![0.0; dims.0 * dims.1 * dims.2];
+        for st in states {
+            let (x0, y0, z0) = st.offsets();
+            let (lnx, lny, lnz) = st.extents();
+            let local = st.local_field();
+            for k in 0..lnz {
+                for j in 0..lny {
+                    for i in 0..lnx {
+                        global[(z0 + k) * dims.0 * dims.1 + (y0 + j) * dims.0 + x0 + i] =
+                            local[k * lnx * lny + j * lnx + i];
+                    }
+                }
+            }
+        }
+        global
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let dims = (12, 8, 6);
+        let reference = solve_heat3d_sequential(dims, 10);
+        for grid in [(2usize, 1usize, 1usize), (2, 2, 1), (2, 2, 2), (3, 2, 1)] {
+            let nprocs = grid.0 * grid.1 * grid.2;
+            let p = Heat3dParams::stable(dims, grid);
+            let r = World::run(nprocs, move |c| run_heat3d(c, &p, 10));
+            let global = gather_global(&r.outputs, dims);
+            assert_eq!(global, reference, "grid {grid:?} diverged");
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_and_conserves_energy() {
+        let dims = (12, 12, 12);
+        let before = solve_heat3d_sequential(dims, 0);
+        let after = solve_heat3d_sequential(dims, 50);
+        let sum = |v: &[f64]| v.iter().sum::<f64>();
+        // Insulated box: total heat conserved.
+        assert!((sum(&before) - sum(&after)).abs() < 1e-6 * sum(&before));
+        // Peak flattens.
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+        assert!(max(&after) < max(&before));
+        // Corners warm up.
+        assert!(after[0] > before[0]);
+    }
+
+    #[test]
+    fn traffic_uses_three_neighbour_distances() {
+        let p = Heat3dParams::stable((8, 8, 8), (2, 2, 2));
+        let r = World::run(8, move |c| {
+            run_heat3d(c, &p, 2);
+        });
+        let m = r.trace.byte_matrix();
+        for (s, d, _) in m.entries() {
+            let dist = s.abs_diff(d);
+            assert!(
+                dist == 1 || dist == 2 || dist == 4,
+                "unexpected edge {s}->{d}"
+            );
+        }
+        // All three distances present (±x=1, ±y=2, ±z=4).
+        for dist in [1usize, 2, 4] {
+            assert!(
+                m.entries().any(|(s, d, _)| s.abs_diff(d) == dist),
+                "missing distance {dist}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_topology_is_symmetric() {
+        let p = Heat3dParams::stable((6, 6, 6), (3, 2, 1));
+        for rank in 0..6 {
+            let st = Heat3dState::new(&p, 6, rank);
+            for f in Face::ALL {
+                if let Some(nbr) = st.neighbor(f) {
+                    let other = Heat3dState::new(&p, 6, nbr);
+                    assert_eq!(
+                        other.neighbor(f.opposite()),
+                        Some(rank),
+                        "rank {rank} face {f:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The per-rank solver kernel, independent of any communication layer.
+//!
+//! [`RankState`] owns one rank's fields and exposes exactly three
+//! operations: extract an outgoing boundary edge, install a received halo
+//! edge, and advance one step. Both the message-passing solver
+//! ([`crate::TsunamiSim`]) and the lockstep failure-injection driver in
+//! `hcft-core` are thin loops around this kernel, which is what makes
+//! "recovered state equals uninterrupted state **bit-for-bit**" a
+//! meaningful assertion across drivers.
+
+use crate::decomp::CartDecomp;
+use crate::params::{TsunamiParams, GRAVITY};
+
+/// A halo-exchange direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Towards lower x.
+    West,
+    /// Towards higher x.
+    East,
+    /// Towards lower y.
+    North,
+    /// Towards higher y.
+    South,
+}
+
+impl Dir {
+    /// The direction a message sent this way arrives from.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::West => Dir::East,
+            Dir::East => Dir::West,
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+        }
+    }
+
+    /// All four directions.
+    pub const ALL: [Dir; 4] = [Dir::West, Dir::East, Dir::North, Dir::South];
+}
+
+/// One rank's solver state (η with halo, face velocities, iteration).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankState {
+    d: CartDecomp,
+    /// η with halo: (lnx+2) × (lny+2), row-major.
+    eta: Vec<f64>,
+    /// u on x faces: (lnx+1) × lny.
+    u: Vec<f64>,
+    /// v on y faces: lnx × (lny+1).
+    v: Vec<f64>,
+    iter: u64,
+}
+
+impl RankState {
+    /// Initialise rank `rank` of `nprocs` with the earthquake initial
+    /// condition.
+    pub fn new(params: &TsunamiParams, nprocs: usize, rank: usize) -> Self {
+        let d = match params.process_grid {
+            Some((px, py)) => {
+                assert_eq!(px * py, nprocs, "process grid must cover nprocs");
+                CartDecomp::with_grid(params.nx, params.ny, px, py, rank)
+            }
+            None => CartDecomp::new(params.nx, params.ny, nprocs, rank),
+        };
+        let mut eta = vec![0.0; (d.lnx + 2) * (d.lny + 2)];
+        for j in 0..d.lny {
+            for i in 0..d.lnx {
+                eta[(j + 1) * (d.lnx + 2) + i + 1] = params.initial_eta(d.x0 + i, d.y0 + j);
+            }
+        }
+        RankState {
+            u: vec![0.0; (d.lnx + 1) * d.lny],
+            v: vec![0.0; d.lnx * (d.lny + 1)],
+            eta,
+            d,
+            iter: 0,
+        }
+    }
+
+    /// The decomposition of this rank.
+    pub fn decomp(&self) -> &CartDecomp {
+        &self.d
+    }
+
+    /// Completed iterations.
+    pub fn iteration(&self) -> u64 {
+        self.iter
+    }
+
+    /// The neighbour rank in a direction, if any.
+    pub fn neighbor(&self, dir: Dir) -> Option<usize> {
+        match dir {
+            Dir::West => self.d.west(),
+            Dir::East => self.d.east(),
+            Dir::North => self.d.north(),
+            Dir::South => self.d.south(),
+        }
+    }
+
+    #[inline]
+    fn eidx(&self, i: usize, j: usize) -> usize {
+        (j + 1) * (self.d.lnx + 2) + i + 1
+    }
+
+    /// The interior edge to ship towards `dir`.
+    pub fn edge_out(&self, dir: Dir) -> Vec<f64> {
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        match dir {
+            Dir::West => (0..lny).map(|j| self.eta[self.eidx(0, j)]).collect(),
+            Dir::East => (0..lny).map(|j| self.eta[self.eidx(lnx - 1, j)]).collect(),
+            Dir::North => (0..lnx).map(|i| self.eta[self.eidx(i, 0)]).collect(),
+            Dir::South => (0..lnx).map(|i| self.eta[self.eidx(i, lny - 1)]).collect(),
+        }
+    }
+
+    /// Install the halo received from `dir`.
+    ///
+    /// # Panics
+    /// Panics on a wrong edge length.
+    pub fn set_halo(&mut self, dir: Dir, vals: &[f64]) {
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        match dir {
+            Dir::West => {
+                assert_eq!(vals.len(), lny, "west halo length");
+                for (j, &x) in vals.iter().enumerate() {
+                    self.eta[(j + 1) * (lnx + 2)] = x;
+                }
+            }
+            Dir::East => {
+                assert_eq!(vals.len(), lny, "east halo length");
+                for (j, &x) in vals.iter().enumerate() {
+                    self.eta[(j + 1) * (lnx + 2) + lnx + 1] = x;
+                }
+            }
+            Dir::North => {
+                assert_eq!(vals.len(), lnx, "north halo length");
+                for (i, &x) in vals.iter().enumerate() {
+                    self.eta[i + 1] = x;
+                }
+            }
+            Dir::South => {
+                assert_eq!(vals.len(), lnx, "south halo length");
+                for (i, &x) in vals.iter().enumerate() {
+                    self.eta[(lny + 1) * (lnx + 2) + i + 1] = x;
+                }
+            }
+        }
+    }
+
+    /// Advance one step. Halos for this step must already be installed.
+    pub fn update(&mut self, p: &TsunamiParams) {
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let gdt = GRAVITY * p.dt / p.dx;
+        for j in 0..lny {
+            for i in 0..=lnx {
+                let global_face = self.d.x0 + i;
+                let idx = j * (lnx + 1) + i;
+                if global_face == 0 || global_face == p.nx {
+                    self.u[idx] = 0.0;
+                } else {
+                    let e_left = self.eta[(j + 1) * (lnx + 2) + i];
+                    let e_right = self.eta[(j + 1) * (lnx + 2) + i + 1];
+                    self.u[idx] -= gdt * (e_right - e_left);
+                }
+            }
+        }
+        for j in 0..=lny {
+            let global_face = self.d.y0 + j;
+            for i in 0..lnx {
+                let idx = j * lnx + i;
+                if global_face == 0 || global_face == p.ny {
+                    self.v[idx] = 0.0;
+                } else {
+                    let e_lo = self.eta[j * (lnx + 2) + i + 1];
+                    let e_hi = self.eta[(j + 1) * (lnx + 2) + i + 1];
+                    self.v[idx] -= gdt * (e_hi - e_lo);
+                }
+            }
+        }
+        let ddt = p.depth * p.dt / p.dx;
+        for j in 0..lny {
+            for i in 0..lnx {
+                let du = self.u[j * (lnx + 1) + i + 1] - self.u[j * (lnx + 1) + i];
+                let dv = self.v[(j + 1) * lnx + i] - self.v[j * lnx + i];
+                let idx = self.eidx(i, j);
+                self.eta[idx] -= ddt * (du + dv);
+            }
+        }
+        self.iter += 1;
+    }
+
+    /// Interior η, row-major `lnx × lny`.
+    pub fn local_eta(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.d.lnx * self.d.lny);
+        for j in 0..self.d.lny {
+            for i in 0..self.d.lnx {
+                out.push(self.eta[self.eidx(i, j)]);
+            }
+        }
+        out
+    }
+
+    /// Serialise the full state (η, u, v, iteration).
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(8 * (4 + self.eta.len() + self.u.len() + self.v.len()));
+        out.extend_from_slice(&self.iter.to_le_bytes());
+        for field in [&self.eta, &self.u, &self.v] {
+            out.extend_from_slice(&(field.len() as u64).to_le_bytes());
+            for x in field.iter() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restore state saved by [`RankState::save_state`].
+    ///
+    /// # Panics
+    /// Panics if the buffer does not match this rank's field shapes.
+    pub fn restore_state(&mut self, bytes: &[u8]) {
+        fn take_u64(bytes: &[u8], off: &mut usize) -> u64 {
+            let v = u64::from_le_bytes(bytes[*off..*off + 8].try_into().expect("u64"));
+            *off += 8;
+            v
+        }
+        let mut off = 0usize;
+        self.iter = take_u64(bytes, &mut off);
+        for field_idx in 0..3 {
+            let len = take_u64(bytes, &mut off) as usize;
+            let field = match field_idx {
+                0 => &mut self.eta,
+                1 => &mut self.u,
+                _ => &mut self.v,
+            };
+            assert_eq!(len, field.len(), "checkpoint shape mismatch");
+            for x in field.iter_mut() {
+                *x = f64::from_le_bytes(bytes[off..off + 8].try_into().expect("f64"));
+                off += 8;
+            }
+        }
+        assert_eq!(off, bytes.len(), "trailing bytes in checkpoint");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_out_set_halo_roundtrip_between_neighbours() {
+        let p = TsunamiParams::stable(8, 4);
+        // 2 ranks side by side.
+        let a = RankState::new(&p, 2, 0);
+        let mut b = RankState::new(&p, 2, 1);
+        let edge = a.edge_out(Dir::East);
+        assert_eq!(edge.len(), a.decomp().lny);
+        b.set_halo(Dir::West, &edge);
+        // b's west halo column now equals a's east interior column.
+        assert_eq!(b.eta[b.d.lnx + 2], edge[0]);
+    }
+
+    #[test]
+    fn opposite_directions() {
+        assert_eq!(Dir::West.opposite(), Dir::East);
+        assert_eq!(Dir::North.opposite(), Dir::South);
+        assert_eq!(Dir::ALL.len(), 4);
+    }
+
+    #[test]
+    fn save_restore_is_identity() {
+        let p = TsunamiParams::stable(16, 16);
+        let mut s = RankState::new(&p, 4, 2);
+        for _ in 0..3 {
+            s.update(&p); // interior-only update is fine for the test
+        }
+        let snapshot = s.save_state();
+        let mut t = RankState::new(&p, 4, 2);
+        t.restore_state(&snapshot);
+        assert_eq!(s, t);
+        assert_eq!(t.iteration(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "halo length")]
+    fn wrong_halo_length_panics() {
+        let p = TsunamiParams::stable(8, 8);
+        let mut s = RankState::new(&p, 4, 0);
+        s.set_halo(Dir::East, &[1.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! 2-D shallow-water tsunami simulation — the paper's workload.
+//!
+//! The paper (§III) traces "a tsunami simulation application \[1\] with 1024
+//! processes": a stencil code that performs a 2-dimensional decomposition
+//! of a sea region; each process computes the fluid dynamics of its
+//! segment and exchanges ghost regions with its neighbours every
+//! iteration. This crate implements that workload for real: a linear
+//! long-wave (shallow-water) finite-difference solver — the standard model
+//! for trans-oceanic tsunami propagation — with block 2-D decomposition
+//! and halo exchange over [`hcft_simmpi`].
+//!
+//! A sequential reference solver ([`sequential::solve_sequential`])
+//! verifies that the parallel code computes the *identical* field
+//! (bit-for-bit: the per-cell arithmetic is order-identical, only the
+//! halo values travel), which is also what makes failure-injection tests
+//! meaningful: after recovery, the field must match an uninterrupted run
+//! exactly.
+
+pub mod decomp;
+pub mod heat3d;
+pub mod kernel;
+pub mod params;
+pub mod sequential;
+pub mod solver;
+
+pub use decomp::CartDecomp;
+pub use kernel::{Dir, RankState};
+pub use params::TsunamiParams;
+pub use solver::TsunamiSim;

@@ -1,0 +1,72 @@
+//! # hcft — Hierarchical Clustering for Fault Tolerance
+//!
+//! A complete, from-scratch reproduction of *"Hierarchical Clustering
+//! Strategies for Fault Tolerance in Large Scale HPC Systems"*
+//! (Bautista-Gomez, Ropars, Maruyama, Cappello, Matsuoka — IEEE CLUSTER
+//! 2012), including every substrate the paper builds on:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`topology`] | machine model (TSUBAME2 Table I), rank placement, FTI job layout |
+//! | [`graph`] | communication matrices, weighted graphs, clusterings, network metrics |
+//! | [`simmpi`] | thread-per-rank MPI-like runtime with MPICH2 collective algorithms and byte-exact tracing |
+//! | [`tsunami`] | 2-D shallow-water stencil workload (parallel solver bit-identical to its sequential reference) |
+//! | [`erasure`] | GF(2⁸), Reed–Solomon and XOR erasure codes, paper-calibrated encoding-time model |
+//! | [`checkpoint`] | FTI-style multi-level checkpoint store (local / RS-encoded / PFS) over real files |
+//! | [`msglog`] | HydEE-style hybrid protocol: partial sender-based logging, restart sets, replay checks |
+//! | [`partition`] | multilevel k-way graph partitioner, CNM modularity clustering, the \[24\] cost function |
+//! | [`cluster`] | **the paper's contribution**: naïve / size-guided / distributed / hierarchical clustering + the 4-D evaluator and §III baseline |
+//! | [`reliability`] | failure-event distributions and the catastrophic-failure probability model of \[3\] |
+//! | [`core`] | the wired-together framework: §V traced experiment and the end-to-end failure drill |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hcft::prelude::*;
+//!
+//! // Trace a small FTI-style job (app ranks + one encoder per node).
+//! let trace = run_traced_job(&TracedJobConfig::small(8, 4));
+//!
+//! // Build the paper's hierarchical clustering from the node graph.
+//! let placement = trace.layout.app_placement();
+//! let node_graph =
+//!     WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+//! let scheme = hierarchical(&placement, &node_graph, &HierarchicalConfig::default());
+//!
+//! // Score it on the four dimensions of §III.
+//! let score = Evaluator::new(trace.app.clone(), placement).evaluate(&scheme);
+//! assert!(BaselineRequirements::default().meets(&score)[2], "fast encoding");
+//! ```
+
+pub use hcft_checkpoint as checkpoint;
+pub use hcft_cluster as cluster;
+pub use hcft_core as core;
+pub use hcft_erasure as erasure;
+pub use hcft_graph as graph;
+pub use hcft_msglog as msglog;
+pub use hcft_partition as partition;
+pub use hcft_reliability as reliability;
+pub use hcft_simmpi as simmpi;
+pub use hcft_simtime as simtime;
+pub use hcft_topology as topology;
+pub use hcft_tsunami as tsunami;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer};
+    pub use hcft_checkpoint::Level as CheckpointLevel;
+    pub use hcft_cluster::{
+        autotune, distributed, hierarchical, naive, size_guided, BaselineRequirements,
+        ClusteringScheme, Evaluator, FourDScore, HierarchicalConfig,
+    };
+    pub use hcft_core::drill::{DrillConfig, LockstepDrill};
+    pub use hcft_core::experiment::{run_traced_job, TraceResult, TracedJobConfig};
+    pub use hcft_erasure::{EncodingModel, ReedSolomon, XorCode};
+    pub use hcft_graph::{Clustering, CommMatrix, WeightedGraph};
+    pub use hcft_msglog::{HybridProtocol, SenderLog};
+    pub use hcft_partition::{MultilevelConfig, MultilevelPartitioner, SizeBounds};
+    pub use hcft_reliability::{EventDistribution, FailureArrivals, ReliabilityModel};
+    pub use hcft_simmpi::{Comm, World};
+    pub use hcft_topology::{JobLayout, MachineSpec, NetworkTopology, NodeId, Placement, Rank};
+    pub use hcft_tsunami::{TsunamiParams, TsunamiSim};
+}

@@ -1,0 +1,158 @@
+//! End-to-end pipeline test: trace the workload, build all four
+//! clustering strategies, evaluate the four dimensions, and assert the
+//! paper's qualitative results (Table II / Fig. 5c) hold on our
+//! implementation at a reduced scale.
+
+use hcft::prelude::*;
+
+fn schemes_for(
+    trace: &TraceResult,
+) -> (Placement, Vec<ClusteringScheme>) {
+    let placement = trace.layout.app_placement();
+    let n = placement.nprocs();
+    let node_graph =
+        WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+    let schemes = vec![
+        naive(n, 32),
+        size_guided(n, 8),
+        distributed(&placement, 16),
+        hierarchical(
+            &placement,
+            &node_graph,
+            &HierarchicalConfig {
+                min_nodes_per_l1: 4,
+                max_nodes_per_l1: 4,
+                l2_group_nodes: 4,
+                ..Default::default()
+            },
+        ),
+    ];
+    (placement, schemes)
+}
+
+#[test]
+fn table2_shape_holds_at_reduced_scale() {
+    let trace = run_traced_job(&TracedJobConfig::small(32, 8));
+    let (placement, schemes) = schemes_for(&trace);
+    let evaluator = Evaluator::new(trace.app.clone(), placement);
+    let scores: Vec<FourDScore> = schemes.iter().map(|s| evaluator.evaluate(s)).collect();
+    let (nv, sg, ds, hi) = (&scores[0], &scores[1], &scores[2], &scores[3]);
+
+    // Logging: hierarchical and naive are low; size-guided noticeably
+    // higher (smaller clusters); distributed near-total.
+    assert!(hi.logging_fraction < 0.15, "hier logging {}", hi.logging_fraction);
+    assert!(nv.logging_fraction < 0.15, "naive logging {}", nv.logging_fraction);
+    assert!(sg.logging_fraction > nv.logging_fraction);
+    assert!(ds.logging_fraction > 0.8, "dist logging {}", ds.logging_fraction);
+
+    // Restart: size-guided < naive ≈ hierarchical < distributed.
+    assert!(sg.restart_fraction < nv.restart_fraction);
+    assert!(ds.restart_fraction >= 0.5);
+
+    // Encoding: follows cluster size exactly (calibrated model).
+    assert!((nv.encode_s_per_gb - 204.0).abs() < 2.0);
+    assert!((sg.encode_s_per_gb - 51.0).abs() < 1.0);
+    assert!((ds.encode_s_per_gb - 102.0).abs() < 2.0);
+    assert!(hi.encode_s_per_gb < 30.0);
+
+    // Reliability: size-guided catastrophic on ~every node event; naive
+    // needs a correlated pair; hierarchical needs 3-of-4; distributed
+    // needs a 9-node event.
+    assert!(sg.p_catastrophic > 0.9);
+    assert!(nv.p_catastrophic < 1e-3 && nv.p_catastrophic > 1e-8);
+    assert!(hi.p_catastrophic < 1e-3);
+    assert!(ds.p_catastrophic < 1e-9);
+
+    // The headline: hierarchical is the only scheme meeting the §III
+    // baseline on all four axes.
+    let baseline = BaselineRequirements::default();
+    let pass: Vec<bool> = scores.iter().map(|s| baseline.meets_all(s)).collect();
+    assert_eq!(pass, vec![false, false, false, true], "scores: {scores:#?}");
+}
+
+#[test]
+fn hierarchical_invariants_on_traced_graph() {
+    let trace = run_traced_job(&TracedJobConfig::small(16, 4));
+    let (placement, schemes) = schemes_for(&trace);
+    let hier = &schemes[3];
+    // Every node is wholly inside one L1 cluster.
+    for node in 0..placement.nodes() {
+        let ranks = placement.ranks_on(NodeId::from(node));
+        let c = hier.l1.cluster_of(ranks[0]);
+        assert!(ranks.iter().all(|&r| hier.l1.cluster_of(r) == c));
+    }
+    // Every L2 cluster is fully distributed and nested in an L1 cluster.
+    for (_, members) in hier.l2.iter() {
+        assert!(placement.fully_distributed(members));
+        let c = hier.l1.cluster_of(members[0]);
+        assert!(members.iter().all(|&r| hier.l1.cluster_of(r) == c));
+    }
+}
+
+#[test]
+fn trace_contains_all_paper_patterns() {
+    let cfg = TracedJobConfig::small(8, 4);
+    let trace = run_traced_job(&cfg);
+    let rpn = trace.layout.ranks_per_node();
+    // Encoder ranks exist at multiples of ranks-per-node.
+    for e in trace.layout.encoder_ranks() {
+        assert_eq!(e.idx() % rpn, 0);
+    }
+    // (a) stencil diagonals dominate the app matrix;
+    let px = trace.process_grid.0;
+    let mut stencil = 0;
+    let mut rest = 0;
+    for (s, d, b) in trace.app.entries() {
+        if s.abs_diff(d) == 1 || s.abs_diff(d) == px {
+            stencil += b;
+        } else {
+            rest += b;
+        }
+    }
+    assert!(stencil > 4 * rest, "stencil {stencil} vs rest {rest}");
+    // (b) every app rank notified its node encoder;
+    for node in 0..cfg.nodes {
+        let enc = node * rpn;
+        for l in 1..rpn {
+            assert!(
+                trace.full.get(enc + l, enc) > 0,
+                "missing notification {} -> {enc}",
+                enc + l
+            );
+        }
+    }
+    // (c) encoder ring traffic within groups of 4 nodes;
+    assert!(trace.full.get(0, rpn) > 0, "encoder 0 -> encoder 1");
+    // (d) but none across group boundaries (ring is group-local).
+    assert_eq!(
+        trace.full.get(0, 4 * rpn),
+        0,
+        "no encoder ring traffic across encoding groups"
+    );
+}
+
+#[test]
+fn scaling_reduces_hierarchical_restart_fraction() {
+    let mut restart = Vec::new();
+    for nodes in [8usize, 16, 32] {
+        let trace = run_traced_job(&TracedJobConfig::small(nodes, 4));
+        let placement = trace.layout.app_placement();
+        let node_graph =
+            WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+        let scheme = hierarchical(
+            &placement,
+            &node_graph,
+            &HierarchicalConfig {
+                min_nodes_per_l1: 4,
+                max_nodes_per_l1: 4,
+                l2_group_nodes: 4,
+                ..Default::default()
+            },
+        );
+        let s = Evaluator::new(trace.app.clone(), placement).evaluate(&scheme);
+        restart.push(s.restart_fraction);
+    }
+    // Fixed 4-node L1 clusters: restart fraction halves as nodes double.
+    assert!(restart[0] > restart[1] && restart[1] > restart[2]);
+    assert!((restart[0] / restart[2] - 4.0).abs() < 0.5);
+}

@@ -1,0 +1,240 @@
+//! End-to-end recovery scenarios across the whole stack: checkpointing,
+//! erasure coding, message logging, rollback and replay, under different
+//! clustering schemes and failure patterns.
+
+use hcft::checkpoint::RecoverError;
+use hcft::prelude::*;
+use hcft::tsunami::sequential::SequentialSim;
+
+struct TempDir(std::path::PathBuf);
+impl TempDir {
+    fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "hcft-e2e-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&p).expect("temp dir");
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn chain_graph(nodes: usize) -> WeightedGraph {
+    let mut m = CommMatrix::new(nodes);
+    for a in 0..nodes - 1 {
+        m.add(a, a + 1, 100);
+        m.add(a + 1, a, 100);
+    }
+    WeightedGraph::from_comm_matrix(&m)
+}
+
+fn hier_scheme(placement: &Placement) -> ClusteringScheme {
+    hierarchical(
+        placement,
+        &chain_graph(placement.nodes()),
+        &HierarchicalConfig {
+            min_nodes_per_l1: 4,
+            max_nodes_per_l1: 4,
+            l2_group_nodes: 4,
+            ..Default::default()
+        },
+    )
+}
+
+fn reference(grid: (usize, usize), iters: u64) -> Vec<f64> {
+    let mut seq = SequentialSim::new(TsunamiParams::stable(grid.0, grid.1));
+    seq.run(iters);
+    seq.eta
+}
+
+#[test]
+fn repeated_failures_across_epochs() {
+    let dir = TempDir::new();
+    let placement = Placement::block(16, 4);
+    let grid = (48, 48);
+    let mut drill = LockstepDrill::new(
+        placement,
+        hier_scheme(&Placement::block(16, 4)),
+        DrillConfig {
+            grid,
+            checkpoint_every: 6,
+            level: Level::Encoded,
+            store_root: dir.0.clone(),
+        },
+    )
+    .expect("drill");
+    // Failure in epoch 1, recover, run on; failure in epoch 3; etc.
+    let mut kill_nodes = [3u32, 9, 14].iter();
+    for target in [8u64, 20, 29] {
+        drill.run_to(target).expect("run");
+        let node = *kill_nodes.next().expect("plan");
+        drill.inject_node_failure(NodeId(node)).expect("kill");
+        drill.recover().expect("recover");
+        assert_eq!(
+            drill.global_eta(),
+            reference(grid, target),
+            "divergence after failure of node {node} at iteration {target}"
+        );
+    }
+    drill.run_to(40).expect("finish");
+    assert_eq!(drill.global_eta(), reference(grid, 40));
+}
+
+#[test]
+fn simultaneous_failures_in_different_l1_clusters() {
+    let dir = TempDir::new();
+    let placement = Placement::block(16, 4);
+    let grid = (32, 32);
+    let mut drill = LockstepDrill::new(
+        placement,
+        hier_scheme(&Placement::block(16, 4)),
+        DrillConfig {
+            grid,
+            checkpoint_every: 5,
+            level: Level::Encoded,
+            store_root: dir.0.clone(),
+        },
+    )
+    .expect("drill");
+    drill.run_to(9).expect("run");
+    // Nodes 1 and 13 live in different L1 clusters (chain partition into
+    // consecutive quads): both clusters roll back, everything else stays.
+    drill.inject_node_failure(NodeId(1)).expect("kill");
+    drill.inject_node_failure(NodeId(13)).expect("kill");
+    let restarted = drill.recover().expect("recover");
+    assert_eq!(restarted.len(), 32, "two L1 clusters of 16 ranks each");
+    assert_eq!(drill.global_eta(), reference(grid, 9));
+}
+
+#[test]
+fn same_node_encoding_clusters_hit_the_catastrophic_path() {
+    // The size-guided pathology, end to end: encoding clusters equal to
+    // nodes mean a node failure destroys data + parity together.
+    let dir = TempDir::new();
+    let placement = Placement::block(8, 4);
+    let scheme = size_guided(32, 4); // 4 consecutive ranks = exactly one node
+    let mut drill = LockstepDrill::new(
+        placement,
+        scheme,
+        DrillConfig {
+            grid: (32, 32),
+            checkpoint_every: 4,
+            level: Level::Encoded,
+            store_root: dir.0.clone(),
+        },
+    )
+    .expect("drill");
+    drill.run_to(6).expect("run");
+    drill.inject_node_failure(NodeId(2)).expect("kill");
+    match drill.recover() {
+        Err(RecoverError::Catastrophic { missing, tolerance, .. }) => {
+            assert!(missing > tolerance);
+        }
+        other => panic!("expected catastrophic failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn pfs_level_checkpoint_rescues_the_catastrophic_case() {
+    // Same pathology, but with a manual PFS-level checkpoint taken — the
+    // multi-level hierarchy's last line of defence.
+    let dir = TempDir::new();
+    let placement = Placement::block(8, 4);
+    let store = CheckpointStore::create(&dir.0, 8).expect("store");
+    let groups = size_guided(32, 4).l2;
+    let ml = MultilevelCheckpointer::new(store, groups, placement.clone());
+    let payloads: Vec<Vec<u8>> = (0..32).map(|r| vec![r as u8; 64]).collect();
+    ml.checkpoint(1, Level::Pfs, &payloads).expect("ckpt");
+    ml.store().fail_node(NodeId(2)).expect("kill");
+    let recovered = ml.recover(1).expect("PFS fallback");
+    assert_eq!(recovered, payloads);
+}
+
+#[test]
+fn drill_and_mpi_solver_agree_bit_for_bit() {
+    // The lockstep drill and the threaded message-passing solver share
+    // the kernel; a run without failures must produce identical fields.
+    let dir = TempDir::new();
+    let placement = Placement::block(4, 4);
+    let grid = (32, 32);
+    let mut drill = LockstepDrill::new(
+        placement,
+        naive(16, 4),
+        DrillConfig {
+            grid,
+            checkpoint_every: 0,
+            level: Level::Encoded,
+            store_root: dir.0.clone(),
+        },
+    )
+    .expect("drill");
+    drill.run_to(20).expect("run");
+    let lockstep_eta = drill.global_eta();
+    let mpi_eta = World::run(16, move |c| {
+        let mut sim = TsunamiSim::new(c, TsunamiParams::stable(32, 32));
+        sim.run(20);
+        sim.gather_global_eta()
+    })
+    .outputs
+    .remove(0)
+    .expect("rank 0 gathers");
+    assert_eq!(lockstep_eta, mpi_eta);
+}
+
+mod drill_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Random failure scenarios: arbitrary checkpoint cadence, kill
+        /// times and victim nodes — the recovered field must always equal
+        /// the uninterrupted reference, bit for bit.
+        #[test]
+        fn random_failure_scenarios_recover_exactly(
+            cadence in 3u64..8,
+            kills in proptest::collection::vec((5u64..30, 0u32..16), 1..4),
+        ) {
+            let dir = TempDir::new();
+            let placement = Placement::block(16, 2);
+            let grid = (32, 32);
+            let mut drill = LockstepDrill::new(
+                placement,
+                hier_scheme(&Placement::block(16, 2)),
+                DrillConfig {
+                    grid,
+                    checkpoint_every: cadence,
+                    level: Level::Encoded,
+                    store_root: dir.0.clone(),
+                },
+            )
+            .expect("drill");
+            let mut kills = kills;
+            kills.sort();
+            for (at, node) in kills {
+                if at > drill.phase() {
+                    drill.run_to(at).expect("run");
+                }
+                drill.inject_node_failure(NodeId(node)).expect("kill");
+                drill.recover().expect("recover");
+                prop_assert_eq!(
+                    drill.global_eta(),
+                    reference(grid, drill.phase()),
+                    "divergence after killing node {} at {}",
+                    node,
+                    at
+                );
+            }
+            drill.run_to(35).expect("finish");
+            prop_assert_eq!(drill.global_eta(), reference(grid, 35));
+        }
+    }
+}
