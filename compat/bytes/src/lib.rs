@@ -1,0 +1,132 @@
+//! A cheaply clonable immutable byte buffer — offline stand-in for the
+//! `bytes` crate. [`Bytes::clone`] is a reference-count bump; the
+//! backing allocation is shared.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Reference-counted immutable bytes.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static byte slice (copied once; upstream borrows, but the
+    /// distinction is unobservable through this API).
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes { data: b.into() }
+    }
+
+    /// Copy from a slice.
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        Bytes { data: b.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A new `Bytes` holding `self[range]` (copies the subrange).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[range].into(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(b: &[u8]) -> Self {
+        Bytes { data: b.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.data.len() > 32 {
+            write!(f, "…")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data[..] == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_backing_buffer() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let a = Bytes::from(vec![9u8; 16]);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a[4], 9);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn slice_copies_subrange() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4]);
+        assert_eq!(&a.slice(1..4)[..], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,392 @@
+//! A measuring micro-benchmark harness with criterion's API shape —
+//! offline stand-in for the `criterion` crate.
+//!
+//! `Bencher::iter` warms up for `warm_up_time`, sizes batches so each
+//! sample costs roughly `measurement_time / sample_size`, collects
+//! `sample_size` samples, and reports the median ns/iteration (plus
+//! throughput when the group sets one). Results are printed to stdout
+//! in a `name  time: […]  thrpt: […]` format and are also available to
+//! callers via [`Criterion::take_results`] for machine output.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput basis for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark path (`group/id` when grouped).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Throughput basis, if the group declared one.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Throughput in gigabytes per second, when byte-based.
+    pub fn gbps(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => Some(b as f64 / self.median_ns),
+            _ => None,
+        }
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+            filter: std::env::args().find(|a| !a.starts_with('-') && !a.ends_with("bench")),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id.to_string(), None, |b| f(b));
+        self
+    }
+
+    /// Drain all results collected so far (for machine-readable output).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one<F>(&mut self, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            median_ns: None,
+        };
+        f(&mut b);
+        let Some(median_ns) = b.median_ns else {
+            return; // the closure never called iter()
+        };
+        let result = BenchResult {
+            name: name.clone(),
+            median_ns,
+            throughput,
+        };
+        let thrpt = match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib_s = bytes as f64 / median_ns * 1e9 / (1u64 << 30) as f64;
+                format!("  thrpt: [{gib_s:.3} GiB/s]")
+            }
+            Some(Throughput::Elements(n)) => {
+                let me_s = n as f64 / median_ns * 1e9 / 1e6;
+                format!("  thrpt: [{me_s:.3} Melem/s]")
+            }
+            None => String::new(),
+        };
+        println!("{name:<50} time: [{}]{thrpt}", fmt_ns(median_ns));
+        self.results.push(result);
+    }
+}
+
+/// Format nanoseconds with a human unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput basis.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement = d;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        let t = self.throughput;
+        self.c.run_one(name, t, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure with an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let t = self.throughput;
+        self.c.run_one(name, t, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, choose a batch size, sample, record
+    /// the median time per iteration.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget elapses, learning the
+        // rough per-iteration cost.
+        let wu_start = Instant::now();
+        let mut wu_iters: u64 = 0;
+        while wu_start.elapsed() < self.warm_up || wu_iters == 0 {
+            black_box(routine());
+            wu_iters += 1;
+        }
+        let per_iter = wu_start.elapsed().as_nanos() as f64 / wu_iters as f64;
+        // Batch size targeting measurement_time / sample_size per sample.
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample_ns / per_iter.max(1.0)).round() as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+
+    /// `iter_with_large_drop` — same as [`Bencher::iter`] here.
+    pub fn iter_with_large_drop<O, F>(&mut self, routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        self.iter(routine);
+    }
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            filter: None,
+            ..Criterion::default()
+        }
+        .warm_up_time(Duration::from_millis(5))
+        .measurement_time(Duration::from_millis(20))
+        .sample_size(3)
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = quick();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        let r = c.take_results();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_throughput_reported() {
+        let mut c = quick();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(1 << 20));
+            g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &_n| {
+                b.iter(|| black_box(vec![0u8; 1024]))
+            });
+            g.finish();
+        }
+        let r = c.take_results();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "g/4");
+        assert!(r[0].gbps().expect("bytes throughput") > 0.0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,556 @@
+//! Property testing — an offline stand-in for proptest.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro (with `name in strategy` and `name: Type`
+//! parameter forms and an optional `#![proptest_config(..)]` header),
+//! strategies over integer/float ranges, tuples, [`strategy::Just`],
+//! [`arbitrary::any`], `prop_map` / `prop_flat_map`, and
+//! [`collection::vec`]. The runner is deterministic: case `i` of test
+//! `t` derives its RNG from a fixed seed (override with the
+//! `PROPTEST_SEED` env var), and failures print every sampled input plus
+//! the case seed. There is no shrinking.
+
+pub mod test_runner;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then a dependent strategy from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Always produces a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Integer/float types uniformly samplable from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform sample from `[lo, hi)`; `hi > lo`.
+        fn uniform(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+        /// Uniform sample from `[lo, hi]`.
+        fn uniform_incl(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn uniform(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(hi > lo, "empty range");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+                fn uniform_incl(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(hi >= lo, "empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn uniform(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+            assert!(hi > lo, "empty range");
+            lo + (hi - lo) * rng.unit_f64()
+        }
+        fn uniform_incl(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+            Self::uniform(rng, lo, f64::max(hi, lo + f64::EPSILON))
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::uniform(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::uniform_incl(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.sample(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(A);
+    impl_strategy_tuple!(A, B);
+    impl_strategy_tuple!(A, B, C);
+    impl_strategy_tuple!(A, B, C, D);
+    impl_strategy_tuple!(A, B, C, D, E);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — default strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a default generation strategy.
+    pub trait Arbitrary {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Finite floats across magnitudes (no NaN/∞ — the workspace's
+        /// numeric properties assume finite inputs).
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            match rng.next_u64() % 8 {
+                0 => 0.0,
+                1 => sign * rng.unit_f64(),
+                2 => sign * rng.unit_f64() * 1.0e-6,
+                _ => sign * rng.unit_f64() * 1.0e6,
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The default strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{SampleUniform, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// A length specification: fixed or ranged.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = usize::uniform_incl(rng, self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)` — the proptest collection constructor.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Selection from explicit value lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items[(rng.next_u64() as usize) % self.items.len()].clone()
+        }
+    }
+
+    /// Uniformly select one of `items`.
+    ///
+    /// # Panics
+    /// Panics when `items` is empty.
+    pub fn select<T: Clone>(items: impl Into<Vec<T>>) -> Select<T> {
+        let items = items.into();
+        assert!(!items.is_empty(), "cannot select from an empty list");
+        Select { items }
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test file needs.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds (counted as a pass — this
+/// stand-in does not re-draw).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Define property tests. Supports:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(a in 0usize..10, b: u8) { prop_assert!(a < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::test_runner::run_proptest(
+                $cfg,
+                stringify!($name),
+                |__proptest_rng, __proptest_desc| {
+                    $crate::__proptest_bind!{ __proptest_rng, __proptest_desc, $($params)* }
+                    #[allow(clippy::redundant_closure_call)]
+                    let __proptest_result: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __proptest_result
+                },
+            );
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $desc:ident $(,)?) => {};
+    ($rng:ident, $desc:ident, $pname:ident in $strat:expr $(,)?) => {
+        let $pname = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $desc.push(::std::format!("{} = {:?}", stringify!($pname), &$pname));
+    };
+    ($rng:ident, $desc:ident, $pname:ident in $strat:expr, $($rest:tt)+) => {
+        $crate::__proptest_bind!{ $rng, $desc, $pname in $strat }
+        $crate::__proptest_bind!{ $rng, $desc, $($rest)+ }
+    };
+    ($rng:ident, $desc:ident, mut $pname:ident in $strat:expr $(,)?) => {
+        let mut $pname = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $desc.push(::std::format!("{} = {:?}", stringify!($pname), &$pname));
+    };
+    ($rng:ident, $desc:ident, mut $pname:ident in $strat:expr, $($rest:tt)+) => {
+        $crate::__proptest_bind!{ $rng, $desc, mut $pname in $strat }
+        $crate::__proptest_bind!{ $rng, $desc, $($rest)+ }
+    };
+    ($rng:ident, $desc:ident, $pname:ident : $ty:ty $(,)?) => {
+        let $pname: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $desc.push(::std::format!("{} = {:?}", stringify!($pname), &$pname));
+    };
+    ($rng:ident, $desc:ident, $pname:ident : $ty:ty, $($rest:tt)+) => {
+        $crate::__proptest_bind!{ $rng, $desc, $pname : $ty }
+        $crate::__proptest_bind!{ $rng, $desc, $($rest)+ }
+    };
+    ($rng:ident, $desc:ident, mut $pname:ident : $ty:ty $(,)?) => {
+        let mut $pname: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $desc.push(::std::format!("{} = {:?}", stringify!($pname), &$pname));
+    };
+    ($rng:ident, $desc:ident, mut $pname:ident : $ty:ty, $($rest:tt)+) => {
+        $crate::__proptest_bind!{ $rng, $desc, mut $pname : $ty }
+        $crate::__proptest_bind!{ $rng, $desc, $($rest)+ }
+    };
+    ($rng:ident, $desc:ident, ($($pname:ident),+ $(,)?) in $strat:expr $(,)?) => {
+        let ($($pname,)+) = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $( $desc.push(::std::format!("{} = {:?}", stringify!($pname), &$pname)); )+
+    };
+    ($rng:ident, $desc:ident, ($($pname:ident),+ $(,)?) in $strat:expr, $($rest:tt)+) => {
+        $crate::__proptest_bind!{ $rng, $desc, ($($pname),+) in $strat }
+        $crate::__proptest_bind!{ $rng, $desc, $($rest)+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..17, b in 1u8..=255) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b >= 1);
+        }
+
+        #[test]
+        fn any_form_binds(x: u8, y: u64) {
+            let _ = (x, y);
+            prop_assert_eq!(x as u64 + y, y + x as u64);
+        }
+
+        #[test]
+        fn tuples_and_vec(v in crate::collection::vec((0usize..5, 0u64..9), 0..12)) {
+            prop_assert!(v.len() < 12);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 9);
+            }
+        }
+
+        #[test]
+        fn map_and_flat_map(v in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0usize..n, n).prop_map(move |xs| (n, xs))
+        })) {
+            let (n, xs) = v;
+            prop_assert_eq!(xs.len(), n);
+            prop_assert!(xs.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_inputs() {
+        crate::test_runner::run_proptest(ProptestConfig::with_cases(4), "doomed", |_rng, _desc| {
+            Err("nope".to_string())
+        });
+    }
+
+    #[test]
+    fn just_clones() {
+        let s = Just(vec![1u8, 2]);
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        assert_eq!(s.sample(&mut rng), vec![1, 2]);
+    }
+}

@@ -1,0 +1,171 @@
+//! The deterministic case runner and its RNG.
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (override globally with `PROPTEST_CASES`).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case — carries the failure message.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A case failure with the given reason.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError(reason.to_string())
+    }
+
+    /// A rejected case (treated the same as a failure here).
+    pub fn reject(reason: impl std::fmt::Display) -> Self {
+        TestCaseError(format!("rejected: {reason}"))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<TestCaseError> for String {
+    fn from(e: TestCaseError) -> String {
+        e.0
+    }
+}
+
+/// A small, fast, deterministic RNG (xorshift64* seeded via SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically.
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64 scramble so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Base seed for a test-suite run: `PROPTEST_SEED` or a fixed default,
+/// so failures reproduce exactly.
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x4863_4654_2024_0001)
+}
+
+/// Hash a test name into the per-test seed lane (FNV-1a).
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `cases` cases of property `f`; panic on the first failure with
+/// the sampled inputs and the case seed.
+pub fn run_proptest<F>(cfg: ProptestConfig, name: &str, f: F)
+where
+    F: Fn(&mut TestRng, &mut Vec<String>) -> Result<(), String>,
+{
+    let base = base_seed() ^ name_seed(name);
+    for case in 0..cfg.cases as u64 {
+        let seed = base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::from_seed(seed);
+        let mut desc = Vec::new();
+        if let Err(msg) = f(&mut rng, &mut desc) {
+            panic!(
+                "proptest case {case}/{} of `{name}` failed: {msg}\n  inputs: {}\n  \
+                 reproduce with PROPTEST_SEED={}",
+                cfg.cases,
+                if desc.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    desc.join(", ")
+                },
+                base_seed(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::from_seed(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut n = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_proptest(ProptestConfig::with_cases(13), "counting", |_, _| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        n += counter.get();
+        assert_eq!(n, 13);
+    }
+}

@@ -1,0 +1,710 @@
+//! Data-parallel iterators on OS threads — an offline stand-in for rayon.
+//!
+//! The model mirrors rayon's: a parallel iterator is a *splittable*
+//! source; execution recursively splits it into roughly one piece per
+//! worker thread, spawns scoped threads, and drains each piece
+//! sequentially. Item order is preserved by reassembling piece results
+//! in order. Adapters (`map`, `zip`, `enumerate`) compose by delegating
+//! `split_at` to their base.
+//!
+//! Honours `RAYON_NUM_THREADS`; with one hardware thread (or a value of
+//! 1) everything runs inline with zero spawn overhead.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Worker-thread count: `RAYON_NUM_THREADS` or hardware parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join worker panicked"))
+        })
+    }
+}
+
+/// A splittable, sequentially drainable source of `Send` items.
+pub trait ParallelIterator: Sized + Send {
+    /// The item type.
+    type Item: Send;
+
+    /// Exact remaining length.
+    fn pi_len(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, len)`.
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequentially feed every item to `sink`.
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item));
+
+    /// Map each item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pair items positionally with `other` (truncating to the shorter).
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        let b = other.into_par_iter();
+        let n = self.pi_len().min(b.pi_len());
+        Zip {
+            a: self.pi_split_at(n).0,
+            b: b.pi_split_at(n).0,
+        }
+    }
+
+    /// Attach the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Minimum split granularity — accepted for rayon compatibility.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Apply `op` to every item, in parallel.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let pieces = split_even(self, current_num_threads());
+        match pieces.len() {
+            0 => {}
+            1 => {
+                for p in pieces {
+                    p.pi_drain(&mut |x| op(x));
+                }
+            }
+            _ => {
+                let op = &op;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = pieces
+                        .into_iter()
+                        .map(|p| s.spawn(move || p.pi_drain(&mut |x| op(x))))
+                        .collect();
+                    for h in handles {
+                        h.join().expect("parallel worker panicked");
+                    }
+                });
+            }
+        }
+    }
+
+    /// Collect into a container, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_pieces(run_collect(self))
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_collect(self).into_iter().flatten().sum()
+    }
+}
+
+/// Split `iter` into up to `pieces` near-equal contiguous parts.
+fn split_even<I: ParallelIterator>(iter: I, pieces: usize) -> Vec<I> {
+    let len = iter.pi_len();
+    let pieces = pieces.clamp(1, len.max(1));
+    let mut out = Vec::with_capacity(pieces);
+    let mut rest = iter;
+    for p in 0..pieces {
+        let remaining_pieces = pieces - p;
+        let take = rest.pi_len().div_ceil(remaining_pieces);
+        if p + 1 == pieces {
+            out.push(rest);
+            break;
+        }
+        let (head, tail) = rest.pi_split_at(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Drain all pieces (in parallel when possible) into per-piece vectors,
+/// returned in source order.
+fn run_collect<I: ParallelIterator>(iter: I) -> Vec<Vec<I::Item>> {
+    let pieces = split_even(iter, current_num_threads());
+    if pieces.len() <= 1 {
+        pieces
+            .into_iter()
+            .map(|p| {
+                let mut v = Vec::with_capacity(p.pi_len());
+                p.pi_drain(&mut |x| v.push(x));
+                v
+            })
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|p| {
+                    s.spawn(move || {
+                        let mut v = Vec::with_capacity(p.pi_len());
+                        p.pi_drain(&mut |x| v.push(x));
+                        v
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Containers constructible from ordered per-piece results.
+pub trait FromParallelIterator<T: Send> {
+    /// Reassemble the pieces, preserving order.
+    fn from_pieces(pieces: Vec<Vec<T>>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_pieces(pieces: Vec<Vec<T>>) -> Self {
+        let total = pieces.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in pieces {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- adapters
+
+/// Output of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Send + Sync,
+{
+    type Item = U;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            Map {
+                base: a,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(U)) {
+        let f = self.f;
+        self.base.pi_drain(&mut |x| sink(f(x)));
+    }
+}
+
+/// Output of [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.pi_split_at(index);
+        let (b1, b2) = self.b.pi_split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item)) {
+        let mut bs = Vec::with_capacity(self.b.pi_len());
+        self.b.pi_drain(&mut |x| bs.push(x));
+        let mut it = bs.into_iter();
+        self.a.pi_drain(&mut |x| {
+            if let Some(y) = it.next() {
+                sink((x, y));
+            }
+        });
+    }
+}
+
+/// Output of [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item)) {
+        let mut i = self.offset;
+        self.base.pi_drain(&mut |x| {
+            sink((i, x));
+            i += 1;
+        });
+    }
+}
+
+// ----------------------------------------------------------------- sources
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.s.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at(index);
+        (SliceIter { s: a }, SliceIter { s: b })
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(&'a T)) {
+        for x in self.s {
+            sink(x);
+        }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    s: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn pi_len(&self) -> usize {
+        self.s.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at_mut(index);
+        (SliceIterMut { s: a }, SliceIterMut { s: b })
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(&'a mut T)) {
+        for x in self.s {
+            sink(x);
+        }
+    }
+}
+
+/// Parallel iterator over immutable chunks of a slice.
+pub struct ChunksIter<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.s.len());
+        let (a, b) = self.s.split_at(mid);
+        (
+            ChunksIter {
+                s: a,
+                size: self.size,
+            },
+            ChunksIter {
+                s: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(&'a [T])) {
+        for c in self.s.chunks(self.size) {
+            sink(c);
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ChunksIterMut<'a, T> {
+    s: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksIterMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pi_len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.s.len());
+        let (a, b) = self.s.split_at_mut(mid);
+        (
+            ChunksIterMut {
+                s: a,
+                size: self.size,
+            },
+            ChunksIterMut {
+                s: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(&'a mut [T])) {
+        for c in self.s.chunks_mut(self.size) {
+            sink(c);
+        }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    r: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.r.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.r.start + index.min(self.r.len());
+        (
+            RangeIter {
+                r: self.r.start..mid,
+            },
+            RangeIter { r: mid..self.r.end },
+        )
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(usize)) {
+        for i in self.r {
+            sink(i);
+        }
+    }
+}
+
+/// Owning parallel iterator over `Vec<T>`.
+pub struct VecIter<T> {
+    v: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.v.len()
+    }
+
+    fn pi_split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.v.split_off(index.min(self.v.len()));
+        (self, VecIter { v: tail })
+    }
+
+    fn pi_drain(self, sink: &mut dyn FnMut(T)) {
+        for x in self.v {
+            sink(x);
+        }
+    }
+}
+
+// ------------------------------------------------------------- conversions
+
+/// Conversion into a [`ParallelIterator`].
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { r: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { v: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { s: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { s: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut { s: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut { s: self }
+    }
+}
+
+/// `par_iter()` — parallel iteration by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send + 'a;
+    /// Iterate by `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
+where
+    &'a I: IntoParallelIterator,
+{
+    type Iter = <&'a I as IntoParallelIterator>::Iter;
+    type Item = <&'a I as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — parallel iteration by exclusive reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send + 'a;
+    /// Iterate by `&mut self`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, I: 'a + ?Sized> IntoParallelRefMutIterator<'a> for I
+where
+    &'a mut I: IntoParallelIterator,
+{
+    type Iter = <&'a mut I as IntoParallelIterator>::Iter;
+    type Item = <&'a mut I as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_chunks()` over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// View as a slice.
+    fn as_parallel_slice(&self) -> &[T];
+
+    /// Immutable chunks of `size` elements.
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksIter {
+            s: self.as_parallel_slice(),
+            size,
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// `par_chunks_mut()` over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// View as a mutable slice.
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Mutable chunks of `size` elements.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksIterMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksIterMut {
+            s: self.as_parallel_slice_mut(),
+            size,
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_everything() {
+        let mut v = vec![1u32; 257];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn zip_truncates_and_pairs_positionally() {
+        let a = vec![1, 2, 3, 4, 5];
+        let b = vec![10, 20, 30];
+        let mut pairs: Vec<(i32, i32)> = Vec::new();
+        let collected: Vec<(i32, i32)> = a
+            .par_iter()
+            .map(|&x| x)
+            .zip(&b)
+            .map(|(x, &y)| (x, y))
+            .collect();
+        pairs.extend(collected);
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn chunks_mut_covers_whole_slice() {
+        let mut v = [0u8; 100];
+        v.par_chunks_mut(7).for_each(|c| c.fill(9));
+        assert!(v.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn enumerate_offsets_survive_splitting() {
+        let v = vec![5u8; 64];
+        let idx: Vec<usize> = v.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: usize = (0..1000usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

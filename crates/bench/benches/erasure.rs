@@ -42,8 +42,7 @@ fn bench_rs_reconstruct(c: &mut Criterion) {
         let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
         g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| {
-                let mut work: Vec<Option<Vec<u8>>> =
-                    full.iter().cloned().map(Some).collect();
+                let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                 for i in 0..size / 2 {
                     work[i] = None; // data shard
                     work[size + size / 2 + i] = None; // someone's parity
@@ -87,6 +86,23 @@ fn bench_gf256_mul_acc(c: &mut Criterion) {
     g.finish();
 }
 
+/// Every available GF(2⁸) kernel on the same 1 MiB multiply-accumulate —
+/// the apples-to-apples comparison behind `BENCH_erasure.json`.
+fn bench_kernel_mul_acc(c: &mut Criterion) {
+    let src = vec![0xA7u8; 1 << 20];
+    let mut dst = vec![0u8; 1 << 20];
+    let mut g = c.benchmark_group("kernel_mul_acc");
+    g.throughput(Throughput::Bytes(1 << 20));
+    for kernel in hcft_erasure::Kernel::available() {
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                kernel.mul_acc(black_box(&mut dst), black_box(&src), 0x37);
+            });
+        });
+    }
+    g.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
@@ -101,6 +117,7 @@ criterion_group! {
     bench_rs_encode,
     bench_rs_reconstruct,
     bench_xor_encode,
-    bench_gf256_mul_acc
+    bench_gf256_mul_acc,
+    bench_kernel_mul_acc
 }
 criterion_main!(benches);

@@ -39,7 +39,8 @@ fn bench_checkpoint_encoded(c: &mut Criterion) {
     g.bench_function("recover_after_node_loss", |b| {
         b.iter(|| {
             epoch += 1;
-            ml.checkpoint(epoch, Level::Encoded, &payloads).expect("ckpt");
+            ml.checkpoint(epoch, Level::Encoded, &payloads)
+                .expect("ckpt");
             ml.store().fail_node(NodeId(2)).expect("kill");
             black_box(ml.recover(epoch).expect("rebuild"));
         });
@@ -61,14 +62,7 @@ fn bench_reliability(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("monte_carlo_q3_100k", |b| {
         b.iter(|| {
-            black_box(model.q_given_j_monte_carlo(
-                3,
-                &dist,
-                &placement,
-                &fti_tolerance,
-                100_000,
-                7,
-            ))
+            black_box(model.q_given_j_monte_carlo(3, &dist, &placement, &fti_tolerance, 100_000, 7))
         });
     });
     g.finish();

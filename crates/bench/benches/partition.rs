@@ -42,7 +42,12 @@ fn bench_modularity(c: &mut Criterion) {
     for nodes in [64usize, 128] {
         let graph = ladder(nodes);
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
-            b.iter(|| black_box(modularity_clusters(black_box(&graph), SizeBounds::new(4, 8))));
+            b.iter(|| {
+                black_box(modularity_clusters(
+                    black_box(&graph),
+                    SizeBounds::new(4, 8),
+                ))
+            });
         });
     }
     g.finish();

@@ -1,0 +1,227 @@
+//! Erasure perf-regression harness: measures every available GF(2⁸)
+//! kernel across code shapes and shard sizes, single-threaded, and
+//! writes `BENCH_erasure.json` (GB/s per kernel × (k,m) × shard size,
+//! plus each kernel's speedup over the full-table reference).
+//!
+//! Run from the repo root so the JSON lands next to the sources:
+//!
+//! ```text
+//! cargo run --release -p hcft-bench --bin bench_erasure
+//! ```
+//!
+//! `BENCH_ERASURE_QUICK=1` shrinks warm-up/measurement for CI smoke runs;
+//! `BENCH_ERASURE_OUT` overrides the output path.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::black_box;
+use hcft_erasure::matrix::GfMatrix;
+use hcft_erasure::{Kernel, ReedSolomon};
+
+/// One measured configuration.
+struct Row {
+    kernel: &'static str,
+    k: usize,
+    m: usize,
+    shard_bytes: usize,
+    gbps: f64,
+    speedup_vs_reference: f64,
+}
+
+fn shards(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|b| ((i * 31 + b * 7) % 251) as u8).collect())
+        .collect()
+}
+
+/// Single-threaded systematic encode with an explicit kernel: the same
+/// coefficient matrix and access pattern as `ReedSolomon::encode`, minus
+/// the Rayon layer, so kernels compare on pure compute.
+fn encode_with(kernel: Kernel, parity_rows: &GfMatrix, data: &[&[u8]], parity: &mut [Vec<u8>]) {
+    for (p, out) in parity.iter_mut().enumerate() {
+        out.fill(0);
+        for (j, d) in data.iter().enumerate() {
+            kernel.mul_acc(out, d, parity_rows.get(p, j));
+        }
+    }
+}
+
+/// Median seconds per call of `f`, after warm-up.
+fn measure<F: FnMut()>(mut f: F, warm_up: Duration, target: Duration, samples: usize) -> f64 {
+    let t0 = std::time::Instant::now();
+    let mut warm_iters = 0u64;
+    while t0.elapsed() < warm_up || warm_iters == 0 {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = t0.elapsed().as_secs_f64() / warm_iters as f64;
+    let batch = ((target.as_secs_f64() / samples as f64 / per_iter).round() as u64).max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = std::time::Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        times.push(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn json_rows(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"k\": {}, \"m\": {}, \"shard_bytes\": {}, \
+             \"gbps\": {:.3}, \"speedup_vs_reference\": {:.2}}}{sep}",
+            r.kernel, r.k, r.m, r.shard_bytes, r.gbps, r.speedup_vs_reference
+        )
+        .expect("string write");
+    }
+    out
+}
+
+fn main() {
+    // Kernel comparisons are single-thread by construction; pin the Rayon
+    // pool too so the ReedSolomon-level numbers match the contract.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+
+    let quick = std::env::var("BENCH_ERASURE_QUICK").is_ok();
+    let (warm_up, target, samples) = if quick {
+        (Duration::from_millis(50), Duration::from_millis(200), 3)
+    } else {
+        (Duration::from_millis(300), Duration::from_secs(1), 10)
+    };
+
+    let kernels = Kernel::available();
+    let shapes: &[(usize, usize)] = &[(4, 2), (8, 4), (16, 8)];
+    let shard_sizes: &[usize] = &[64 * 1024, 1 << 20];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(k, m) in shapes {
+        let parity_rows = GfMatrix::cauchy(m, k);
+        for &shard in shard_sizes {
+            let data = shards(k, shard);
+            let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+            let mut parity = vec![vec![0u8; shard]; m];
+            let mut reference_gbps = 0.0;
+            for &kernel in &kernels {
+                let secs = measure(
+                    || {
+                        encode_with(
+                            kernel,
+                            &parity_rows,
+                            black_box(&refs),
+                            black_box(&mut parity),
+                        )
+                    },
+                    warm_up,
+                    target,
+                    samples,
+                );
+                // Throughput in source (checkpoint) bytes, as in Fig. 3b.
+                let gbps = (k * shard) as f64 / secs / 1e9;
+                if kernel == Kernel::Reference {
+                    reference_gbps = gbps;
+                }
+                let speedup = if reference_gbps > 0.0 {
+                    gbps / reference_gbps
+                } else {
+                    1.0
+                };
+                eprintln!(
+                    "encode  {:<10} k={k:<2} m={m:<2} shard={shard:>7}  {gbps:6.3} GB/s  ({speedup:.2}x ref)",
+                    kernel.name()
+                );
+                rows.push(Row {
+                    kernel: kernel.name(),
+                    k,
+                    m,
+                    shard_bytes: shard,
+                    gbps,
+                    speedup_vs_reference: speedup,
+                });
+            }
+        }
+    }
+
+    // Reconstruction of one erased shard in an 8-shard (FTI) group, via
+    // the full ReedSolomon path: Rayon-chunked, decode matrix cached.
+    let rs = ReedSolomon::fti_for_group(8);
+    let shard = 1 << 20;
+    let data = shards(rs.data_shards(), shard);
+    let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+    let parity = rs.encode(&refs);
+    let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+    let secs = measure(
+        || {
+            let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            work[1] = None;
+            rs.reconstruct(&mut work).expect("single erasure");
+            black_box(work);
+        },
+        warm_up,
+        target,
+        samples,
+    );
+    let reconstruct_gbps = shard as f64 / secs / 1e9;
+    let cache = rs.decode_cache_stats();
+    eprintln!(
+        "reconstruct fti(8) 1-erasure: {reconstruct_gbps:.3} GB/s rebuilt \
+         (decode cache: {} hits / {} misses)",
+        cache.hits, cache.misses
+    );
+
+    let active = hcft_erasure::kernel::active();
+    let mut json = String::new();
+    json.push_str("{\n");
+    writeln!(json, "  \"bench\": \"erasure\",").expect("write");
+    writeln!(json, "  \"unit\": \"GB/s of source data, single thread\",").expect("write");
+    writeln!(
+        json,
+        "  \"kernels_available\": [{}],",
+        kernels
+            .iter()
+            .map(|k| format!("\"{}\"", k.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .expect("write");
+    writeln!(json, "  \"active_kernel\": \"{}\",", active.name()).expect("write");
+    writeln!(json, "  \"encode\": [").expect("write");
+    json.push_str(&json_rows(&rows));
+    writeln!(json, "  ],").expect("write");
+    writeln!(
+        json,
+        "  \"reconstruct\": [\n    {{\"group\": 8, \"erasures\": 1, \"shard_bytes\": {shard}, \
+         \"gbps_rebuilt\": {reconstruct_gbps:.3}, \"decode_cache_hits\": {}, \
+         \"decode_cache_misses\": {}}}\n  ]",
+        cache.hits, cache.misses
+    )
+    .expect("write");
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_ERASURE_OUT").unwrap_or_else(|_| "BENCH_erasure.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_erasure.json");
+    eprintln!("wrote {out}");
+
+    // Regression gate: the dispatched kernel must beat the full-table
+    // reference by ≥3x on the (k=4, m=2), 1 MiB shard configuration.
+    let gate = rows
+        .iter()
+        .find(|r| r.kernel == active.name() && r.k == 4 && r.m == 2 && r.shard_bytes == 1 << 20)
+        .expect("gate row measured");
+    assert!(
+        gate.speedup_vs_reference >= 3.0,
+        "perf regression: {} is only {:.2}x the reference at (4,2)/1MiB",
+        gate.kernel,
+        gate.speedup_vs_reference
+    );
+    eprintln!(
+        "gate ok: {} = {:.2}x reference at (4,2)/1MiB",
+        gate.kernel, gate.speedup_vs_reference
+    );
+}

@@ -20,8 +20,24 @@ use hcft_bench::figures;
 use hcft_bench::harness::{Artifact, Scale};
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
-    "scaling", "efficiency", "alltoall", "ablation", "campaign", "heat3d", "logmem", "simtime",
+    "table1",
+    "table2",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "scaling",
+    "efficiency",
+    "alltoall",
+    "ablation",
+    "campaign",
+    "heat3d",
+    "logmem",
+    "simtime",
 ];
 
 fn usage() -> ExitCode {

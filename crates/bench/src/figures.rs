@@ -346,7 +346,10 @@ pub fn fig5b(scale: Scale) -> Artifact {
 /// Build the four paper schemes and their scores for a scale.
 fn schemes_and_scores(
     scale: Scale,
-) -> (Vec<hcft_cluster::ClusteringScheme>, Vec<hcft_cluster::FourDScore>) {
+) -> (
+    Vec<hcft_cluster::ClusteringScheme>,
+    Vec<hcft_cluster::FourDScore>,
+) {
     let t = traced(scale);
     let placement = t.layout.app_placement();
     let n = placement.nprocs();
@@ -481,8 +484,7 @@ pub fn scaling(scale: Scale) -> Artifact {
         job.grid = ((2 * px).max(16), 2048 * py);
         let t = hcft_core::experiment::run_traced_job(&job);
         let placement = t.layout.app_placement();
-        let node_graph =
-            WeightedGraph::from_comm_matrix(&t.app.aggregate_by_node(&placement));
+        let node_graph = WeightedGraph::from_comm_matrix(&t.app.aggregate_by_node(&placement));
         let cfg = HierarchicalConfig {
             min_nodes_per_l1: 4,
             max_nodes_per_l1: 4,
@@ -594,10 +596,12 @@ pub fn alltoall(scale: Scale) -> Artifact {
         l2_group_nodes: 4,
         ..Default::default()
     };
-    let schemes = [naive(n, nv),
+    let schemes = [
+        naive(n, nv),
         hcft_cluster::size_guided(n, sg),
         distributed(&placement, ds),
-        hierarchical(&placement, &node_graph, &hier_cfg)];
+        hierarchical(&placement, &node_graph, &hier_cfg),
+    ];
     let evaluator = Evaluator::new(matrix, placement);
     let mut rows = Vec::new();
     let mut report = String::from(
@@ -850,9 +854,8 @@ pub fn simtime(_scale: Scale) -> Artifact {
     let cost = CheckpointCostModel::tsubame2();
     let gb: u64 = 1_000_000_000;
     let placement = Placement::block(32, 1);
-    let distributed = |size: usize| {
-        Clustering::from_assignment(&(0..32).map(|r| r / size).collect::<Vec<_>>())
-    };
+    let distributed =
+        |size: usize| Clustering::from_assignment(&(0..32).map(|r| r / size).collect::<Vec<_>>());
     let mut rows = Vec::new();
     let mut report = String::from(
         "SIMTIME (extension) — discrete-event simulation vs closed-form model\n\
@@ -870,7 +873,11 @@ pub fn simtime(_scale: Scale) -> Artifact {
     for g in [4usize, 8, 16, 32] {
         let t = simulate_checkpoint(&sim_cfg, SimLevel::Encoded, &distributed(g), &placement);
         let m = cost.cost(Level::Encoded, gb, 1, 32, g);
-        emit(format!("RS encode, group {g}"), t, m.local_write_s + m.encode_s);
+        emit(
+            format!("RS encode, group {g}"),
+            t,
+            m.local_write_s + m.encode_s,
+        );
     }
     let singles = Clustering::singletons(32);
     let t = simulate_checkpoint(&sim_cfg, SimLevel::Local, &singles, &placement);

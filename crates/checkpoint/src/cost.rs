@@ -91,9 +91,7 @@ impl CheckpointCostModel {
                     / encoding_cluster_size as f64;
             }
             Level::Encoded => {
-                cost.encode_s = self
-                    .encoding
-                    .seconds(encoding_cluster_size, bytes_per_rank);
+                cost.encode_s = self.encoding.seconds(encoding_cluster_size, bytes_per_rank);
             }
             Level::Pfs => {
                 cost.pfs_write_s = bytes_per_rank as f64 * total_ranks as f64

@@ -8,7 +8,9 @@
 //! fully distributed — and survives nothing if all members share one node
 //! (the paper's size-guided pathology).
 
+use std::collections::HashMap;
 use std::io;
+use std::sync::Mutex;
 
 use hcft_graph::Clustering;
 use hcft_topology::Placement;
@@ -75,7 +77,10 @@ fn unframe(shard: &[u8]) -> io::Result<Vec<u8>> {
     }
     let len = u64::from_le_bytes(shard[..8].try_into().expect("8 bytes")) as usize;
     if shard.len() < 8 + len {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated shard"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "truncated shard",
+        ));
     }
     Ok(shard[8..8 + len].to_vec())
 }
@@ -88,6 +93,13 @@ pub struct MultilevelCheckpointer {
     store: CheckpointStore,
     groups: Clustering,
     placement: Placement,
+    /// RS codes by group size. Reusing a code across epochs keeps its
+    /// decode-matrix cache warm, so repeated recoveries of the same
+    /// failure pattern skip the matrix inversion.
+    codes: Mutex<HashMap<usize, ReedSolomon>>,
+    /// Pool of parity buffer sets handed to [`ReedSolomon::encode_into`],
+    /// so steady-state checkpoint rounds stop allocating parity.
+    parity_scratch: Mutex<Vec<Vec<Vec<u8>>>>,
 }
 
 impl MultilevelCheckpointer {
@@ -106,7 +118,40 @@ impl MultilevelCheckpointer {
             store,
             groups,
             placement,
+            codes: Mutex::new(HashMap::new()),
+            parity_scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The (shared, cached) RS code for encoding clusters of `s` members.
+    fn code_for(&self, s: usize) -> ReedSolomon {
+        self.codes
+            .lock()
+            .expect("codes lock")
+            .entry(s)
+            .or_insert_with(|| ReedSolomon::new(s, s))
+            .clone()
+    }
+
+    /// Borrow a set of `count` parity buffers of `len` bytes from the
+    /// pool (allocating only on first use or growth).
+    fn take_scratch(&self, count: usize, len: usize) -> Vec<Vec<u8>> {
+        let mut set = self
+            .parity_scratch
+            .lock()
+            .expect("scratch lock")
+            .pop()
+            .unwrap_or_default();
+        set.resize_with(count, Vec::new);
+        for buf in &mut set {
+            buf.resize(len, 0);
+        }
+        set
+    }
+
+    /// Return a buffer set to the pool.
+    fn return_scratch(&self, set: Vec<Vec<u8>>) {
+        self.parity_scratch.lock().expect("scratch lock").push(set);
     }
 
     /// The encoding clustering.
@@ -231,15 +276,22 @@ impl MultilevelCheckpointer {
         for s in &mut shards {
             s.resize(padded, 0);
         }
-        let rs = ReedSolomon::new(members.len(), members.len());
-        let refs: Vec<&[u8]> = shards.iter().map(|s| &s[..]).collect();
-        let parity = rs.encode(&refs);
+        let rs = self.code_for(members.len());
+        let mut parity = self.take_scratch(members.len(), padded);
+        {
+            let refs: Vec<&[u8]> = shards.iter().map(|s| &s[..]).collect();
+            let outs: Vec<&mut [u8]> = parity.iter_mut().map(|p| &mut p[..]).collect();
+            rs.encode_into(&refs, outs);
+        }
+        let mut result = Ok(());
         for (i, &r) in members.iter().enumerate() {
             let node = self.placement.node_of(r);
-            self.store.write_parity(node, group, epoch, &parity[i])?;
-            self.store.write_meta(node, group, epoch, padded as u64)?;
+            result = result
+                .and_then(|()| self.store.write_parity(node, group, epoch, &parity[i]))
+                .and_then(|()| self.store.write_meta(node, group, epoch, padded as u64));
         }
-        Ok(())
+        self.return_scratch(parity);
+        result
     }
 
     /// Recover every rank's payload at `epoch`, rebuilding lost local
@@ -295,10 +347,8 @@ impl MultilevelCheckpointer {
                             match self.store.read_pfs(r.idx(), epoch) {
                                 Ok(bytes) => out[r.idx()] = Some(bytes),
                                 Err(_) => {
-                                    let missing = members
-                                        .iter()
-                                        .filter(|&&m| out[m.idx()].is_none())
-                                        .count();
+                                    let missing =
+                                        members.iter().filter(|&&m| out[m.idx()].is_none()).count();
                                     return Err(RecoverError::Catastrophic {
                                         group: g,
                                         missing,
@@ -365,9 +415,7 @@ impl MultilevelCheckpointer {
                 return Ok(None);
             };
             shard.resize(padded, 0);
-            for (a, b) in acc.iter_mut().zip(&shard) {
-                *a ^= b;
-            }
+            hcft_erasure::kernel::xor_acc(&mut acc, &shard);
         }
         let payload = unframe(&acc)?;
         // Re-protect the rebuilt local copy.
@@ -416,7 +464,7 @@ impl MultilevelCheckpointer {
         if missing > s {
             return Ok(None);
         }
-        let rs = ReedSolomon::new(s, s);
+        let rs = self.code_for(s);
         if rs.reconstruct(&mut shards).is_err() {
             return Ok(None);
         }
@@ -475,7 +523,11 @@ mod tests {
 
     fn payloads(n: usize) -> Vec<Vec<u8>> {
         (0..n)
-            .map(|r| (0..(50 + r * 13)).map(|b| ((r * 7 + b) % 251) as u8).collect())
+            .map(|r| {
+                (0..(50 + r * 13))
+                    .map(|b| ((r * 7 + b) % 251) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -584,7 +636,13 @@ mod tests {
     fn unequal_payload_sizes_are_padded_transparently() {
         let dir = TempDir::new();
         let (ml, data) = distributed_setup(&dir); // payloads have varied sizes already
-        assert!(data.iter().map(Vec::len).collect::<std::collections::HashSet<_>>().len() > 1);
+        assert!(
+            data.iter()
+                .map(Vec::len)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1
+        );
         ml.checkpoint(7, Level::Encoded, &data).expect("ckpt");
         ml.store().fail_node(NodeId(3)).expect("kill");
         assert_eq!(ml.recover(7).expect("rebuild"), data);
@@ -618,7 +676,11 @@ mod partner_xor_level_tests {
 
     fn payloads(n: usize) -> Vec<Vec<u8>> {
         (0..n)
-            .map(|r| (0..(40 + r * 11)).map(|b| ((r * 7 + b) % 251) as u8).collect())
+            .map(|r| {
+                (0..(40 + r * 11))
+                    .map(|b| ((r * 7 + b) % 251) as u8)
+                    .collect()
+            })
             .collect()
     }
 

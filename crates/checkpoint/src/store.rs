@@ -77,7 +77,8 @@ impl CheckpointStore {
     }
 
     fn pfs_path(&self, rank: usize, epoch: u64) -> PathBuf {
-        self.root.join(format!("pfs/rank_{rank}_epoch_{epoch}.ckpt"))
+        self.root
+            .join(format!("pfs/rank_{rank}_epoch_{epoch}.ckpt"))
     }
 
     /// Write a rank's local checkpoint onto its node.
@@ -113,13 +114,7 @@ impl CheckpointStore {
     }
 
     /// Write a replica of a group's XOR parity onto `node`.
-    pub fn write_xor(
-        &self,
-        node: NodeId,
-        group: usize,
-        epoch: u64,
-        data: &[u8],
-    ) -> io::Result<()> {
+    pub fn write_xor(&self, node: NodeId, group: usize, epoch: u64, data: &[u8]) -> io::Result<()> {
         fs::write(self.xor_path(node, group, epoch), data)
     }
 
@@ -277,7 +272,8 @@ pub(crate) mod tests {
     #[test]
     fn local_roundtrip() {
         let (_d, s) = temp_store(2);
-        s.write_local(hcft_topology::NodeId(1), 5, 3, b"hello").expect("write");
+        s.write_local(hcft_topology::NodeId(1), 5, 3, b"hello")
+            .expect("write");
         assert_eq!(
             s.read_local(hcft_topology::NodeId(1), 5, 3).expect("read"),
             b"hello"

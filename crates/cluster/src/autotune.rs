@@ -12,9 +12,7 @@ use hcft_topology::Placement;
 
 use crate::baseline::BaselineRequirements;
 use crate::evaluator::{Evaluator, FourDScore};
-use crate::strategies::{
-    distributed, hierarchical, naive, ClusteringScheme, HierarchicalConfig,
-};
+use crate::strategies::{distributed, hierarchical, naive, ClusteringScheme, HierarchicalConfig};
 
 /// One evaluated candidate.
 #[derive(Clone, Debug)]

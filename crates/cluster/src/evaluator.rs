@@ -93,11 +93,9 @@ impl Evaluator {
         // The encoding time is governed by the largest L2 cluster (all
         // clusters encode in parallel; the slowest gates the checkpoint).
         let encode = self.encoding.seconds_per_gb(scheme.l2.max_size());
-        let p_cat = self.reliability.p_catastrophic(
-            &scheme.l2,
-            &self.placement,
-            &fti_tolerance,
-        );
+        let p_cat = self
+            .reliability
+            .p_catastrophic(&scheme.l2, &self.placement, &fti_tolerance);
         FourDScore {
             name: scheme.name.clone(),
             logging_fraction: stats.logged_fraction(),

@@ -61,7 +61,10 @@ pub fn size_guided(nprocs: usize, size: usize) -> ClusteringScheme {
 /// or if `size` exceeds the node count.
 pub fn distributed(placement: &Placement, size: usize) -> ClusteringScheme {
     let nodes = placement.nodes();
-    assert!(size >= 2 && size <= nodes, "cluster size {size} vs {nodes} nodes");
+    assert!(
+        size >= 2 && size <= nodes,
+        "cluster size {size} vs {nodes} nodes"
+    );
     let ppn = placement.ranks_on(NodeId(0)).len();
     assert!(
         (0..nodes).all(|n| placement.ranks_on(NodeId::from(n)).len() == ppn),
@@ -208,11 +211,7 @@ pub fn hierarchical(
     }
     let l2 = Clustering::from_members(placement.nprocs(), l2_members);
     ClusteringScheme {
-        name: format!(
-            "hierarchical ({}-{} pr.)",
-            l1.max_size(),
-            l2.max_size()
-        ),
+        name: format!("hierarchical ({}-{} pr.)", l1.max_size(), l2.max_size()),
         l1,
         l2,
     }
@@ -290,7 +289,11 @@ mod tests {
         let s = hierarchical(&p, &g, &HierarchicalConfig::default());
         for (_, members) in s.l2.iter() {
             assert!(p.fully_distributed(members), "L2 not distributed");
-            assert!(members.len() >= 4 && members.len() < 8, "L2 size {}", members.len());
+            assert!(
+                members.len() >= 4 && members.len() < 8,
+                "L2 size {}",
+                members.len()
+            );
         }
         // L2 nests inside L1.
         for (_, members) in s.l2.iter() {

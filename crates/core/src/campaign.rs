@@ -119,8 +119,7 @@ pub fn simulate_campaign(
                 .collect();
             let restart = protocol.restart_set(&failed_ranks).len() as f64;
             let since_ckpt = (t_h * 3600.0) % cfg.checkpoint_interval_s;
-            tot_waste_s +=
-                (restart / nprocs) * (since_ckpt + cfg.recovery_latency_s);
+            tot_waste_s += (restart / nprocs) * (since_ckpt + cfg.recovery_latency_s);
         }
     }
     let trials = cfg.trials as f64;
@@ -150,11 +149,7 @@ fn draw_class(events: &EventDistribution, rng: &mut StdRng) -> Option<usize> {
 }
 
 /// Does losing `failed` nodes defeat some L2 encoding cluster?
-fn is_catastrophic(
-    scheme: &ClusteringScheme,
-    placement: &Placement,
-    failed: &[NodeId],
-) -> bool {
+fn is_catastrophic(scheme: &ClusteringScheme, placement: &Placement, failed: &[NodeId]) -> bool {
     let mut down = vec![false; placement.nodes()];
     for &n in failed {
         down[n.idx()] = true;

@@ -138,8 +138,7 @@ impl LockstepDrill {
         let mut outgoing: Vec<[OutEdge; 4]> = Vec::with_capacity(n);
         for st in self.states.iter() {
             let st = st.as_ref().expect("alive");
-            let mut edges: [OutEdge; 4] =
-                [(None, None), (None, None), (None, None), (None, None)];
+            let mut edges: [OutEdge; 4] = [(None, None), (None, None), (None, None), (None, None)];
             for (k, dir) in Dir::ALL.into_iter().enumerate() {
                 if let Some(nbr) = st.neighbor(dir) {
                     edges[k] = (Some(st.edge_out(dir)), Some(nbr));
@@ -180,7 +179,8 @@ impl LockstepDrill {
     pub fn run_to(&mut self, target: u64) -> io::Result<()> {
         while self.phase < target {
             self.step();
-            if self.cfg.checkpoint_every > 0 && self.phase.is_multiple_of(self.cfg.checkpoint_every) {
+            if self.cfg.checkpoint_every > 0 && self.phase.is_multiple_of(self.cfg.checkpoint_every)
+            {
                 self.checkpoint()?;
             }
         }
@@ -195,7 +195,8 @@ impl LockstepDrill {
             .map(|s| s.as_ref().expect("alive").save_state())
             .collect();
         self.epoch += 1;
-        self.ckpt.checkpoint(self.epoch, self.cfg.level, &payloads)?;
+        self.ckpt
+            .checkpoint(self.epoch, self.cfg.level, &payloads)?;
         self.ckpt_phase = self.phase;
         self.ckpt.store().prune_before(self.epoch)?;
         // All clusters checkpoint together here, so pre-checkpoint log

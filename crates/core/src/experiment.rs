@@ -80,7 +80,11 @@ impl TracedJobConfig {
     /// the paper run.
     pub fn small(nodes: usize, app_per_node: usize) -> Self {
         let nprocs = nodes * app_per_node;
-        let (px, py) = if nprocs >= 4 { (nprocs / 2, 2) } else { (nprocs, 1) };
+        let (px, py) = if nprocs >= 4 {
+            (nprocs / 2, 2)
+        } else {
+            (nprocs, 1)
+        };
         TracedJobConfig {
             nodes,
             app_per_node,
@@ -179,21 +183,22 @@ pub fn run_traced_job(cfg: &TracedJobConfig) -> TraceResult {
             .into_iter()
             .enumerate()
             .filter_map(|(src, stream)| {
-                layout.global_to_app(hcft_topology::Rank::from(src)).map(|app_src| {
-                    stream
-                        .into_iter()
-                        .filter_map(|e| {
-                            let dst =
-                                layout.global_to_app(hcft_topology::Rank(e.dst))?;
-                            Some(hcft_msglog::MsgEvent {
-                                src: app_src as u32,
-                                dst: dst as u32,
-                                bytes: e.bytes,
-                                phase: e.phase,
+                layout
+                    .global_to_app(hcft_topology::Rank::from(src))
+                    .map(|app_src| {
+                        stream
+                            .into_iter()
+                            .filter_map(|e| {
+                                let dst = layout.global_to_app(hcft_topology::Rank(e.dst))?;
+                                Some(hcft_msglog::MsgEvent {
+                                    src: app_src as u32,
+                                    dst: dst as u32,
+                                    bytes: e.bytes,
+                                    phase: e.phase,
+                                })
                             })
-                        })
-                        .collect::<Vec<_>>()
-                })
+                            .collect::<Vec<_>>()
+                    })
             })
             .collect()
     } else {

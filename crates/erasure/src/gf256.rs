@@ -112,22 +112,13 @@ pub fn pow(a: u8, n: u64) -> u8 {
 }
 
 /// XOR-accumulate `coeff · src` into `dst` (the SPMV kernel of encoding).
+///
+/// Dispatches to the fastest [`crate::kernel::Kernel`] detected for this
+/// CPU (SSSE3/AVX2 `pshufb` when present, a `u64`-wide nibble-table path
+/// otherwise). Override with `HCFT_GF_KERNEL`.
 #[inline]
 pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: u8) {
-    debug_assert_eq!(dst.len(), src.len());
-    if coeff == 0 {
-        return;
-    }
-    if coeff == 1 {
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
-        return;
-    }
-    let row = mul_row(coeff);
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d ^= row[s as usize];
-    }
+    crate::kernel::active().mul_acc(dst, src, coeff);
 }
 
 #[cfg(test)]

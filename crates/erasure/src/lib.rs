@@ -7,6 +7,9 @@
 //!
 //! * [`gf256`] — GF(2⁸) arithmetic (tables over the AES-adjacent
 //!   polynomial `x⁸+x⁴+x³+x²+1`);
+//! * [`kernel`] — the multiply-accumulate kernels behind the hot loops:
+//!   4-bit split tables in scalar `u64` and SSSE3/AVX2 `pshufb` forms,
+//!   selected at runtime by CPU feature detection;
 //! * [`matrix`] — matrices over the field, Gauss–Jordan inversion and the
 //!   Cauchy construction whose every square submatrix is invertible (the
 //!   MDS property Reed–Solomon needs);
@@ -18,11 +21,13 @@
 //!   51 s for 8, 102 s for 16, 204 s for 32 — Fig. 3b / Table II).
 
 pub mod gf256;
+pub mod kernel;
 pub mod matrix;
 pub mod rs;
 pub mod timing;
 pub mod xor;
 
+pub use kernel::Kernel;
 pub use rs::ReedSolomon;
 pub use timing::EncodingModel;
 pub use xor::XorCode;

@@ -53,9 +53,7 @@ impl GfMatrix {
     /// Panics if `k + m > 256` (the field runs out of distinct points).
     pub fn cauchy(m: usize, k: usize) -> Self {
         assert!(k + m <= 256, "Cauchy construction needs k+m <= 256");
-        Self::from_fn(m, k, |i, j| {
-            gf256::inv(((k + i) as u8) ^ (j as u8))
-        })
+        Self::from_fn(m, k, |i, j| gf256::inv(((k + i) as u8) ^ (j as u8)))
     }
 
     /// Row count.

@@ -7,9 +7,17 @@
 //! half the cluster — [`ReedSolomon::fti_for_group`] captures that
 //! convention.
 //!
-//! Encoding is embarrassingly parallel across the byte dimension, so
-//! shards are chunked and processed with Rayon — mirroring how FTI
-//! overlaps encoding across dedicated per-node processes.
+//! Both encoding and reconstruction are embarrassingly parallel across
+//! the byte dimension, so shards are chunked and processed with Rayon —
+//! mirroring how FTI overlaps encoding across dedicated per-node
+//! processes. Decode matrices (the inverse of the surviving generator
+//! rows) are cached per erasure pattern, so repeated recoveries of the
+//! same failure shape — the common case in a drill or campaign loop —
+//! skip the Gauss–Jordan inversion entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 
@@ -47,6 +55,24 @@ impl std::fmt::Display for RsError {
 
 impl std::error::Error for RsError {}
 
+/// Hit/miss counters for the decode-matrix cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran a fresh Gauss–Jordan inversion.
+    pub misses: u64,
+}
+
+/// Decode matrices keyed by the surviving-row set, shared by all clones
+/// of a code.
+#[derive(Debug, Default)]
+struct DecodeCache {
+    map: Mutex<HashMap<Vec<u8>, Arc<GfMatrix>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// A systematic Reed–Solomon code with `k` data and `m` parity shards.
 #[derive(Clone, Debug)]
 pub struct ReedSolomon {
@@ -54,10 +80,66 @@ pub struct ReedSolomon {
     m: usize,
     /// The parity sub-matrix (m × k Cauchy).
     parity_rows: GfMatrix,
+    /// The full generator `[I; C]` ((k+m) × k), precomputed so
+    /// reconstruction never rebuilds it.
+    gen: GfMatrix,
+    /// Inverted decode matrices per erasure pattern. Clones share it.
+    decode_cache: Arc<DecodeCache>,
 }
 
-/// Chunk size for parallel encoding (bytes per task).
+/// Chunk size for parallel encoding/reconstruction (bytes per task).
 const PAR_CHUNK: usize = 64 * 1024;
+
+/// Stack-buffer size for the allocation-free verify path.
+const VERIFY_CHUNK: usize = 4096;
+
+/// Split each output shard into `PAR_CHUNK`-sized sub-slices and run
+/// `body` once per chunk in parallel; each invocation owns the same byte
+/// range of every output. This is the one place that does the
+/// `split_at_mut` scaffolding for both encode and reconstruct.
+fn par_chunks_of<F>(outputs: Vec<&mut [u8]>, body: F)
+where
+    F: Fn(usize, &mut [&mut [u8]]) + Send + Sync,
+{
+    let len = outputs.first().map(|o| o.len()).unwrap_or(0);
+    debug_assert!(outputs.iter().all(|o| o.len() == len));
+    if len == 0 || outputs.is_empty() {
+        return;
+    }
+    let starts: Vec<usize> = (0..len).step_by(PAR_CHUNK).collect();
+    let mut rows: Vec<(usize, Vec<&mut [u8]>)> = Vec::with_capacity(starts.len());
+    let mut rests = outputs;
+    for &lo in &starts {
+        let take = PAR_CHUNK.min(len - lo);
+        let mut row = Vec::with_capacity(rests.len());
+        let mut next = Vec::with_capacity(rests.len());
+        for rest in rests {
+            let (head, tail) = rest.split_at_mut(take);
+            row.push(head);
+            next.push(tail);
+        }
+        rows.push((lo, row));
+        rests = next;
+    }
+    rows.par_iter_mut()
+        .for_each(|(lo, row)| body(*lo, &mut row[..]));
+}
+
+/// XOR-accumulate the matrix product `coeff · sources` into `outputs`
+/// (which the caller has zeroed), chunked and parallel:
+/// `outputs[r] ^= Σ_j coeff(r, j) · sources[j]`.
+fn accumulate_products<C>(sources: &[&[u8]], outputs: Vec<&mut [u8]>, coeff: C)
+where
+    C: Fn(usize, usize) -> u8 + Send + Sync,
+{
+    par_chunks_of(outputs, |lo, outs| {
+        for (r, out) in outs.iter_mut().enumerate() {
+            for (j, src) in sources.iter().enumerate() {
+                gf256::mul_acc(out, &src[lo..lo + out.len()], coeff(r, j));
+            }
+        }
+    });
+}
 
 impl ReedSolomon {
     /// Create a code with `k` data and `m` parity shards.
@@ -65,12 +147,19 @@ impl ReedSolomon {
     /// # Panics
     /// Panics if `k == 0`, `m == 0` or `k + m > 256`.
     pub fn new(k: usize, m: usize) -> Self {
-        assert!(k > 0 && m > 0, "need at least one data and one parity shard");
+        assert!(
+            k > 0 && m > 0,
+            "need at least one data and one parity shard"
+        );
         assert!(k + m <= 256, "GF(256) supports at most 256 total shards");
+        let parity_rows = GfMatrix::cauchy(m, k);
+        let gen = GfMatrix::identity(k).vstack(&parity_rows);
         ReedSolomon {
             k,
             m,
-            parity_rows: GfMatrix::cauchy(m, k),
+            parity_rows,
+            gen,
+            decode_cache: Arc::new(DecodeCache::default()),
         }
     }
 
@@ -98,64 +187,111 @@ impl ReedSolomon {
     }
 
     /// Compute the `m` parity shards for `data` (must be `k` equal-length
-    /// shards).
+    /// shards), allocating the outputs. Loops that encode repeatedly
+    /// should hold scratch buffers and call [`ReedSolomon::encode_into`].
     ///
     /// # Panics
     /// Panics on shard-count or shard-length mismatch.
     pub fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        let len = data.first().map(|d| d.len()).unwrap_or(0);
+        let mut parity = vec![vec![0u8; len]; self.m];
+        {
+            let outs: Vec<&mut [u8]> = parity.iter_mut().map(|p| &mut p[..]).collect();
+            self.encode_into(data, outs);
+        }
+        parity
+    }
+
+    /// Compute parity into caller-owned buffers (overwritten, so they can
+    /// be reused round after round without reallocating).
+    ///
+    /// # Panics
+    /// Panics when `data` is not `k` equal-length shards or `parity` is
+    /// not `m` buffers of the same length.
+    pub fn encode_into(&self, data: &[&[u8]], parity: Vec<&mut [u8]>) {
         assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
         let len = data[0].len();
         assert!(
             data.iter().all(|d| d.len() == len),
             "data shards must have equal length"
         );
-        let mut parity = vec![vec![0u8; len]; self.m];
-        // Parallelise across the byte dimension: each task owns the same
-        // chunk range of every parity shard.
-        let chunks: Vec<(usize, usize)> = (0..len)
-            .step_by(PAR_CHUNK.max(1))
-            .map(|lo| (lo, (lo + PAR_CHUNK).min(len)))
-            .collect();
-        // Split each parity shard into per-chunk mutable slices.
-        let mut parity_slices: Vec<Vec<&mut [u8]>> = Vec::with_capacity(chunks.len());
-        {
-            let mut rests: Vec<&mut [u8]> = parity.iter_mut().map(|p| &mut p[..]).collect();
-            for &(lo, hi) in &chunks {
-                let mut row = Vec::with_capacity(self.m);
-                let mut new_rests = Vec::with_capacity(self.m);
-                for rest in rests {
-                    let (head, tail) = rest.split_at_mut(hi - lo);
-                    row.push(head);
-                    new_rests.push(tail);
-                }
-                parity_slices.push(row);
-                rests = new_rests;
-            }
+        assert_eq!(parity.len(), self.m, "expected {} parity buffers", self.m);
+        assert!(
+            parity.iter().all(|p| p.len() == len),
+            "parity buffers must match the data shard length"
+        );
+        let mut parity = parity;
+        for p in &mut parity {
+            p.fill(0);
         }
-        parity_slices
-            .par_iter_mut()
-            .zip(&chunks)
-            .for_each(|(prow, &(lo, hi))| {
-                for (p, pshard) in prow.iter_mut().enumerate() {
-                    for (j, dshard) in data.iter().enumerate() {
-                        gf256::mul_acc(pshard, &dshard[lo..hi], self.parity_rows.get(p, j));
-                    }
-                }
-            });
-        parity
+        accumulate_products(data, parity, |p, j| self.parity_rows.get(p, j));
     }
 
     /// Verify that `shards` (k data followed by m parity, all present and
     /// equal-length) are consistent.
+    ///
+    /// Runs chunk-wise over a fixed stack buffer — no heap allocation —
+    /// and returns at the first mismatching chunk.
     pub fn verify(&self, shards: &[&[u8]]) -> bool {
         if shards.len() != self.total_shards() {
             return false;
         }
-        let parity = self.encode(&shards[..self.k]);
-        parity
-            .iter()
-            .zip(&shards[self.k..])
-            .all(|(computed, given)| computed.as_slice() == *given)
+        let len = shards[0].len();
+        if shards.iter().any(|s| s.len() != len) {
+            return false;
+        }
+        let (data, parity) = shards.split_at(self.k);
+        let mut buf = [0u8; VERIFY_CHUNK];
+        let mut lo = 0;
+        while lo < len {
+            let n = VERIFY_CHUNK.min(len - lo);
+            for (p, given) in parity.iter().enumerate() {
+                let out = &mut buf[..n];
+                out.fill(0);
+                for (j, d) in data.iter().enumerate() {
+                    gf256::mul_acc(out, &d[lo..lo + n], self.parity_rows.get(p, j));
+                }
+                if *out != given[lo..lo + n] {
+                    return false;
+                }
+            }
+            lo += n;
+        }
+        true
+    }
+
+    /// The inverse of the generator rows in `use_rows` (the k surviving
+    /// shards), from the cache when this erasure pattern has been seen.
+    fn decode_matrix(&self, use_rows: &[usize]) -> Arc<GfMatrix> {
+        let key: Vec<u8> = use_rows.iter().map(|&i| i as u8).collect();
+        {
+            let map = self.decode_cache.map.lock().expect("cache lock");
+            if let Some(m) = map.get(&key) {
+                self.decode_cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(m);
+            }
+        }
+        self.decode_cache.misses.fetch_add(1, Ordering::Relaxed);
+        let inv = self
+            .gen
+            .select_rows(use_rows)
+            .invert()
+            .expect("MDS: any k rows are invertible");
+        let inv = Arc::new(inv);
+        self.decode_cache
+            .map
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&inv));
+        inv
+    }
+
+    /// Decode-matrix cache counters (shared across clones of this code).
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        DecodeCacheStats {
+            hits: self.decode_cache.hits.load(Ordering::Relaxed),
+            misses: self.decode_cache.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Rebuild all missing shards in place. `shards[i]` is `Some(bytes)`
@@ -182,40 +318,40 @@ impl ReedSolomon {
         {
             return Err(RsError::ShardSizeMismatch);
         }
-        // Generator matrix [I; C]; take the rows of k surviving shards,
-        // invert, and recover the data shards.
-        let gen = GfMatrix::identity(self.k).vstack(&self.parity_rows);
-        let use_rows = &present[..self.k];
-        let sub = gen.select_rows(use_rows);
-        let inv = sub.invert().expect("MDS: any k rows are invertible");
-        // data[j] = Σ_i inv[j][i] · shard[use_rows[i]]
-        let sources: Vec<&[u8]> = use_rows
-            .iter()
-            .map(|&i| shards[i].as_deref().expect("present shard"))
-            .collect();
-        let mut data: Vec<Option<Vec<u8>>> = vec![None; self.k];
         let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.k).collect();
-        for &j in &missing_data {
-            let mut out = vec![0u8; len];
-            for (i, src) in sources.iter().enumerate() {
-                gf256::mul_acc(&mut out, src, inv.get(j, i));
+        let missing_parity: Vec<usize> = missing.iter().copied().filter(|&i| i >= self.k).collect();
+        // data[j] = Σ_i inv[j][i] · shard[use_rows[i]], for the missing j.
+        if !missing_data.is_empty() {
+            let use_rows = &present[..self.k];
+            let inv = self.decode_matrix(use_rows);
+            let mut rebuilt = vec![vec![0u8; len]; missing_data.len()];
+            {
+                let sources: Vec<&[u8]> = use_rows
+                    .iter()
+                    .map(|&i| shards[i].as_deref().expect("present shard"))
+                    .collect();
+                let outs: Vec<&mut [u8]> = rebuilt.iter_mut().map(|v| &mut v[..]).collect();
+                accumulate_products(&sources, outs, |r, i| inv.get(missing_data[r], i));
             }
-            data[j] = Some(out);
+            for (&j, buf) in missing_data.iter().zip(rebuilt) {
+                shards[j] = Some(buf);
+            }
         }
-        for &j in &missing_data {
-            shards[j] = data[j].take();
-        }
-        // Recompute any missing parity from the (now complete) data.
-        if missing.iter().any(|&i| i >= self.k) {
-            let data_refs: Vec<&[u8]> = shards[..self.k]
-                .iter()
-                .map(|s| s.as_deref().expect("data complete"))
-                .collect();
-            let parity = self.encode(&data_refs);
-            for (p, pshard) in parity.into_iter().enumerate() {
-                if shards[self.k + p].is_none() {
-                    shards[self.k + p] = Some(pshard);
-                }
+        // Recompute just the missing parity rows from the complete data.
+        if !missing_parity.is_empty() {
+            let mut rebuilt = vec![vec![0u8; len]; missing_parity.len()];
+            {
+                let sources: Vec<&[u8]> = shards[..self.k]
+                    .iter()
+                    .map(|s| s.as_deref().expect("data complete"))
+                    .collect();
+                let outs: Vec<&mut [u8]> = rebuilt.iter_mut().map(|v| &mut v[..]).collect();
+                accumulate_products(&sources, outs, |r, j| {
+                    self.parity_rows.get(missing_parity[r] - self.k, j)
+                });
+            }
+            for (&p, buf) in missing_parity.iter().zip(rebuilt) {
+                shards[p] = Some(buf);
             }
         }
         Ok(())
@@ -229,7 +365,11 @@ mod tests {
 
     fn shards(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|b| ((i * 131 + b * 7 + 3) % 251) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|b| ((i * 131 + b * 7 + 3) % 251) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -245,12 +385,45 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_reuses_scratch() {
+        let rs = ReedSolomon::new(3, 2);
+        let mut scratch = vec![vec![0xEEu8; 500]; 2];
+        for round in 0..3 {
+            let data = shards(3, 500)
+                .into_iter()
+                .map(|mut d| {
+                    d[0] ^= round as u8;
+                    d
+                })
+                .collect::<Vec<_>>();
+            let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+            let outs: Vec<&mut [u8]> = scratch.iter_mut().map(|p| &mut p[..]).collect();
+            rs.encode_into(&refs, outs);
+            assert_eq!(rs.encode(&refs), scratch, "round {round}");
+        }
+    }
+
+    #[test]
     fn verify_detects_corruption() {
         let rs = ReedSolomon::new(3, 2);
         let data = shards(3, 64);
         let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
         let mut parity = rs.encode(&refs);
         parity[0][10] ^= 0xFF;
+        let mut all: Vec<&[u8]> = refs.clone();
+        all.extend(parity.iter().map(|p| &p[..]));
+        assert!(!rs.verify(&all));
+    }
+
+    #[test]
+    fn verify_detects_corruption_past_first_chunk() {
+        let rs = ReedSolomon::new(2, 2);
+        let len = VERIFY_CHUNK * 2 + 37;
+        let data = shards(2, len);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let mut parity = rs.encode(&refs);
+        // Flip a byte in the last partial chunk of the last parity shard.
+        parity[1][len - 1] ^= 0x01;
         let mut all: Vec<&[u8]> = refs.clone();
         all.extend(parity.iter().map(|p| &p[..]));
         assert!(!rs.verify(&all));
@@ -294,6 +467,50 @@ mod tests {
     }
 
     #[test]
+    fn repeated_same_pattern_reconstruction_hits_the_cache() {
+        let rs = ReedSolomon::new(6, 2);
+        let data = shards(6, 128);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+        for round in 0..5 {
+            let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            work[2] = None;
+            rs.reconstruct(&mut work).expect("single erasure");
+            assert_eq!(
+                work[2].as_ref().expect("rebuilt"),
+                &full[2],
+                "round {round}"
+            );
+        }
+        let stats = rs.decode_cache_stats();
+        assert_eq!(stats.misses, 1, "one inversion for the repeated pattern");
+        assert_eq!(stats.hits, 4, "subsequent rounds reuse the cache");
+        // A different pattern misses once more.
+        let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        work[3] = None;
+        rs.reconstruct(&mut work).expect("single erasure");
+        assert_eq!(rs.decode_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn clones_share_the_decode_cache() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+        let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        work[1] = None;
+        rs.reconstruct(&mut work).expect("erasure");
+        let rs2 = rs.clone();
+        let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        work[1] = None;
+        rs2.reconstruct(&mut work).expect("erasure");
+        assert_eq!(rs2.decode_cache_stats().hits, 1, "clone reused the cache");
+    }
+
+    #[test]
     fn too_many_erasures_is_an_error() {
         let rs = ReedSolomon::new(4, 2);
         let data = shards(4, 10);
@@ -320,11 +537,7 @@ mod tests {
     #[test]
     fn mismatched_sizes_rejected() {
         let rs = ReedSolomon::new(2, 1);
-        let mut work = vec![
-            Some(vec![1, 2, 3]),
-            Some(vec![1, 2]),
-            None,
-        ];
+        let mut work = vec![Some(vec![1, 2, 3]), Some(vec![1, 2]), None];
         assert_eq!(rs.reconstruct(&mut work), Err(RsError::ShardSizeMismatch));
     }
 

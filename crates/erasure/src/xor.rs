@@ -36,9 +36,7 @@ impl XorCode {
         assert!(data.iter().all(|d| d.len() == len), "unequal shard sizes");
         let mut parity = vec![0u8; len];
         for shard in data {
-            for (p, &s) in parity.iter_mut().zip(*shard) {
-                *p ^= s;
-            }
+            crate::kernel::xor_acc(&mut parity, shard);
         }
         parity
     }
@@ -60,9 +58,7 @@ impl XorCode {
                 let mut out = vec![0u8; len];
                 for s in shards.iter().flatten() {
                     assert_eq!(s.len(), len, "unequal shard sizes");
-                    for (o, &b) in out.iter_mut().zip(s) {
-                        *o ^= b;
-                    }
+                    crate::kernel::xor_acc(&mut out, s);
                 }
                 shards[missing[0]] = Some(out);
                 Ok(())
@@ -99,8 +95,7 @@ mod tests {
                 .collect();
             work[lost] = None;
             c.reconstruct(&mut work).expect("one loss");
-            let expect: Vec<Vec<u8>> =
-                data.iter().cloned().chain([parity.clone()]).collect();
+            let expect: Vec<Vec<u8>> = data.iter().cloned().chain([parity.clone()]).collect();
             for i in 0..4 {
                 assert_eq!(work[i].as_ref().expect("rebuilt"), &expect[i]);
             }

@@ -257,10 +257,7 @@ mod tests {
 
     #[test]
     fn from_members_roundtrip() {
-        let c = Clustering::from_members(
-            4,
-            vec![vec![Rank(3), Rank(0)], vec![Rank(1), Rank(2)]],
-        );
+        let c = Clustering::from_members(4, vec![vec![Rank(3), Rank(0)], vec![Rank(1), Rank(2)]]);
         assert_eq!(c.members(0), &[Rank(0), Rank(3)]);
         assert_eq!(c.cluster_of(Rank(2)), 1);
     }

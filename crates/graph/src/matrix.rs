@@ -62,7 +62,11 @@ impl CommMatrix {
 
     /// Iterate over non-zero `(src, dst, bytes)` entries.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.data.iter().enumerate().filter(|&(_i, &b)| b > 0).map(|(i, &b)| (i / self.n, i % self.n, b))
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &b)| b > 0)
+            .map(|(i, &b)| (i / self.n, i % self.n, b))
     }
 
     /// Symmetric volume between `a` and `b` (both directions).
@@ -199,8 +203,7 @@ impl CommMatrix {
                     b' '
                 } else {
                     let t = (v as f64).ln().max(0.0) / lmax;
-                    SHADES[((t * (SHADES.len() - 1) as f64).round() as usize)
-                        .min(SHADES.len() - 1)]
+                    SHADES[((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)]
                 };
                 out.push(c as char);
             }

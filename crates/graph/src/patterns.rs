@@ -112,8 +112,16 @@ mod tests {
     #[test]
     fn anisotropy_controls_direction_weights() {
         let m = stencil_2d(8, 2, 128, 1);
-        let ew: u64 = m.entries().filter(|&(s, d, _)| s.abs_diff(d) == 1).map(|e| e.2).sum();
-        let ns: u64 = m.entries().filter(|&(s, d, _)| s.abs_diff(d) == 8).map(|e| e.2).sum();
+        let ew: u64 = m
+            .entries()
+            .filter(|&(s, d, _)| s.abs_diff(d) == 1)
+            .map(|e| e.2)
+            .sum();
+        let ns: u64 = m
+            .entries()
+            .filter(|&(s, d, _)| s.abs_diff(d) == 8)
+            .map(|e| e.2)
+            .sum();
         // 14 EW pairs × 2 directions × 128 B vs 8 NS pairs × 2 × 1 B.
         assert_eq!(ew, 14 * 2 * 128);
         assert_eq!(ns, 8 * 2);

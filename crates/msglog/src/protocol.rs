@@ -196,10 +196,25 @@ mod tests {
         let p = HybridProtocol::new(Clustering::consecutive(4, 2));
         let events = vec![
             vec![
-                MsgEvent { src: 0, dst: 1, bytes: 5, phase: 0 },
-                MsgEvent { src: 0, dst: 2, bytes: 7, phase: 1 },
+                MsgEvent {
+                    src: 0,
+                    dst: 1,
+                    bytes: 5,
+                    phase: 0,
+                },
+                MsgEvent {
+                    src: 0,
+                    dst: 2,
+                    bytes: 7,
+                    phase: 1,
+                },
             ],
-            vec![MsgEvent { src: 1, dst: 3, bytes: 3, phase: 1 }],
+            vec![MsgEvent {
+                src: 1,
+                dst: 3,
+                bytes: 3,
+                phase: 1,
+            }],
         ];
         let s = p.stats_from_events(&events);
         assert_eq!(s.total_msgs, 3);

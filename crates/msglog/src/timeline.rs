@@ -38,12 +38,7 @@ pub fn log_memory_timeline(
     let protocol = HybridProtocol::new(clustering.clone());
     let n = clustering.nprocs();
     // Bucket logged bytes by (sender, phase).
-    let max_phase = events
-        .iter()
-        .flatten()
-        .map(|e| e.phase)
-        .max()
-        .unwrap_or(0);
+    let max_phase = events.iter().flatten().map(|e| e.phase).max().unwrap_or(0);
     let phases = (max_phase + 1) as usize;
     let mut per_sender_phase = vec![0u64; n * phases];
     for stream in events {

@@ -84,9 +84,7 @@ pub fn topology_aware_map(
                 let cost: u64 = g
                     .neighbors(u)
                     .iter()
-                    .filter_map(|&(v, w)| {
-                        mapping[v as usize].map(|q| w * topo.hops(p, q) as u64)
-                    })
+                    .filter_map(|&(v, w)| mapping[v as usize].map(|q| w * topo.hops(p, q) as u64))
                     .sum();
                 (cost, p)
             })
@@ -119,10 +117,10 @@ fn swap_refine(
         let mut improved = false;
         for a in 0..n {
             for b in (a + 1)..n {
-                let before = vertex_cost(a, mapping[a], mapping, b)
-                    + vertex_cost(b, mapping[b], mapping, a);
-                let after = vertex_cost(a, mapping[b], mapping, b)
-                    + vertex_cost(b, mapping[a], mapping, a);
+                let before =
+                    vertex_cost(a, mapping[a], mapping, b) + vertex_cost(b, mapping[b], mapping, a);
+                let after =
+                    vertex_cost(a, mapping[b], mapping, b) + vertex_cost(b, mapping[a], mapping, a);
                 if after < before {
                     mapping.swap(a, b);
                     improved = true;
@@ -185,9 +183,7 @@ mod tests {
         let physical: Vec<NodeId> = (0..16).map(NodeId::from).collect();
         let optimised = topology_aware_map(&g, &t, &physical);
         // A deliberately bad bit-reversal-ish scramble.
-        let scrambled: Vec<NodeId> = (0..16)
-            .map(|v| NodeId::from((v * 7 + 3) % 16))
-            .collect();
+        let scrambled: Vec<NodeId> = (0..16).map(|v| NodeId::from((v * 7 + 3) % 16)).collect();
         let good = mapping_cost(&g, &t, &optimised);
         let bad = mapping_cost(&g, &t, &scrambled);
         assert!(good < bad, "optimised {good} vs scrambled {bad}");

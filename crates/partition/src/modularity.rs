@@ -67,7 +67,13 @@ pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> 
         }
         match best {
             Some((dq, c, d)) if dq > 0.0 => merge(
-                c, d, &mut comm, &mut weight, &mut deg, &mut links, &mut alive,
+                c,
+                d,
+                &mut comm,
+                &mut weight,
+                &mut deg,
+                &mut links,
+                &mut alive,
             ),
             _ => break,
         }
@@ -90,7 +96,15 @@ pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> 
         match target {
             Some(d) => {
                 let (a, b) = if c < d { (c, d) } else { (d, c) };
-                merge(a, b, &mut comm, &mut weight, &mut deg, &mut links, &mut alive);
+                merge(
+                    a,
+                    b,
+                    &mut comm,
+                    &mut weight,
+                    &mut deg,
+                    &mut links,
+                    &mut alive,
+                );
             }
             None => break, // nothing can absorb it without breaking the cap
         }

@@ -85,7 +85,13 @@ impl MultilevelPartitioner {
             }
             part = fine_part;
             let mut weights = part_weights(fine_graph, &part, k);
-            refine(fine_graph, &mut part, &mut weights, b, self.cfg.refine_passes);
+            refine(
+                fine_graph,
+                &mut part,
+                &mut weights,
+                b,
+                self.cfg.refine_passes,
+            );
         }
         part
     }

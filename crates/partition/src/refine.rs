@@ -127,7 +127,6 @@ pub fn refine(
     }
 }
 
-
 fn part_weights_for(g: &WeightedGraph, part: &[usize], k: usize) -> Vec<u64> {
     let mut w = vec![0u64; k];
     for (u, &p) in part.iter().enumerate() {
@@ -176,9 +175,7 @@ pub fn repair_bounds(g: &WeightedGraph, part: &mut [usize], k: usize, b: SizeBou
                     continue;
                 }
                 let aff = affinity(u, dst, part) - affinity(u, src, part);
-                if best_move
-                    .is_none_or(|(_, _, be, ba)| ne < be || (ne == be && aff > ba))
-                {
+                if best_move.is_none_or(|(_, _, be, ba)| ne < be || (ne == be && aff > ba)) {
                     best_move = Some((u, dst, ne, aff));
                 }
             }

@@ -73,8 +73,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let proc_ = FailureArrivals::exponential(10.0);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| proc_.sample_interval(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| proc_.sample_interval(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
     }
 

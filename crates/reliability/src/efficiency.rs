@@ -122,9 +122,7 @@ mod tests {
         let contained = EfficiencyModel::new(3600.0, 60.0, 120.0, 0.0625);
         assert!(contained.peak_efficiency() > full.peak_efficiency());
         // And lengthens the optimal interval by 1/√f = 4×.
-        assert!(
-            (contained.optimal_interval() / full.optimal_interval() - 4.0).abs() < 1e-9
-        );
+        assert!((contained.optimal_interval() / full.optimal_interval() - 4.0).abs() < 1e-9);
     }
 
     #[test]

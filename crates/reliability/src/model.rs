@@ -151,10 +151,7 @@ impl ReliabilityModel {
                     .iter()
                     .filter(|d| d.counts.iter().all(|&(node, _)| !bad[node]))
                     .collect();
-                let union: f64 = residual
-                    .iter()
-                    .map(|d| self.q_cluster_exact(j, d))
-                    .sum();
+                let union: f64 = residual.iter().map(|d| self.q_cluster_exact(j, d)).sum();
                 if union <= 0.1 {
                     (p_hit_bad + (1.0 - p_hit_bad) * union).min(1.0)
                 } else if b == 0 {
@@ -305,11 +302,7 @@ impl ReliabilityModel {
 
 /// Convenience: P(catastrophic) with the FTI half-cluster tolerance and
 /// the FTI-calibrated event distribution.
-pub fn p_catastrophic_fti(
-    nodes: usize,
-    clustering: &Clustering,
-    placement: &Placement,
-) -> f64 {
+pub fn p_catastrophic_fti(nodes: usize, clustering: &Clustering, placement: &Placement) -> f64 {
     ReliabilityModel::new(nodes, EventDistribution::fti_calibrated()).p_catastrophic(
         clustering,
         placement,

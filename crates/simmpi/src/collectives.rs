@@ -453,7 +453,11 @@ mod v_tests {
     #[test]
     fn allgatherv_with_empty_contributions() {
         let r = World::run(3, |c| {
-            let mine: Vec<f64> = if c.rank() == 1 { vec![] } else { vec![c.rank() as f64] };
+            let mine: Vec<f64> = if c.rank() == 1 {
+                vec![]
+            } else {
+                vec![c.rank() as f64]
+            };
             c.allgatherv(&mine)
         });
         assert_eq!(r.outputs[0], vec![vec![0.0], vec![], vec![2.0]]);
@@ -592,7 +596,9 @@ mod tests {
 
     #[test]
     fn allreduce_max() {
-        let r = World::run(5, |c| c.allreduce_max(&[-(c.rank() as f64), c.rank() as f64]));
+        let r = World::run(5, |c| {
+            c.allreduce_max(&[-(c.rank() as f64), c.rank() as f64])
+        });
         for out in r.outputs {
             assert_eq!(out, vec![0.0, 4.0]);
         }
@@ -638,9 +644,7 @@ mod tests {
     fn alltoall_transposes() {
         let n = 4;
         let r = World::run(n, move |c| {
-            let sends: Vec<Vec<u64>> = (0..n)
-                .map(|d| vec![(c.rank() * 100 + d) as u64])
-                .collect();
+            let sends: Vec<Vec<u64>> = (0..n).map(|d| vec![(c.rank() * 100 + d) as u64]).collect();
             c.alltoall(&sends)
         });
         for (rank, out) in r.outputs.iter().enumerate() {

@@ -119,7 +119,10 @@ impl TraceRecorder {
     pub fn take_events(&self) -> Vec<Vec<MessageEvent>> {
         match &self.events {
             None => Vec::new(),
-            Some(logs) => logs.iter().map(|l| std::mem::take(&mut *l.lock())).collect(),
+            Some(logs) => logs
+                .iter()
+                .map(|l| std::mem::take(&mut *l.lock()))
+                .collect(),
         }
     }
 }

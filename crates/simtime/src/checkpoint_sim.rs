@@ -79,9 +79,7 @@ pub fn simulate_checkpoint(
             for (_, members) in groups.iter() {
                 for (i, &m) in members.iter().enumerate() {
                     let src = placement.node_of(m).idx();
-                    let dst = placement
-                        .node_of(members[(i + 1) % members.len()])
-                        .idx();
+                    let dst = placement.node_of(members[(i + 1) % members.len()]).idx();
                     let ship = sim.task(nodes[src].nic, bytes, &[writes[m.idx()]]);
                     sim.task(nodes[dst].ssd, bytes, &[ship]);
                 }
@@ -109,11 +107,7 @@ pub fn simulate_checkpoint(
                     for (i, &m) in members.iter().enumerate() {
                         let n = placement.node_of(m).idx();
                         let upstream = prev_step[(i + g - 1) % g];
-                        this_step.push(sim.task(
-                            nodes[n].nic,
-                            bytes,
-                            &[prev_step[i], upstream],
-                        ));
+                        this_step.push(sim.task(nodes[n].nic, bytes, &[prev_step[i], upstream]));
                     }
                     prev_step = this_step;
                 }
@@ -301,8 +295,8 @@ mod tests {
     fn recovery_rebuilds_lost_shards_in_reasonable_time() {
         let placement = Placement::block(8, 2);
         let groups = distributed(8, 2, 4);
-        let t = simulate_recovery(&cfg(GB), &groups, &placement, NodeId(3))
-            .expect("within tolerance");
+        let t =
+            simulate_recovery(&cfg(GB), &groups, &placement, NodeId(3)).expect("within tolerance");
         // Two groups each rebuild one shard: decode = 4 GB of operands
         // ≈ 25.5 s on one core, plus reads/ships — well under a minute.
         assert!(t > 25.0 && t < 60.0, "t = {t}");
@@ -323,11 +317,9 @@ mod tests {
     fn unaffected_groups_cost_nothing() {
         let placement = Placement::block(8, 1);
         let groups = Clustering::consecutive(8, 4); // groups {0..4},{4..8}
-        let t = simulate_recovery(&cfg(GB), &groups, &placement, NodeId(7))
-            .expect("tolerant");
+        let t = simulate_recovery(&cfg(GB), &groups, &placement, NodeId(7)).expect("tolerant");
         // Only the second group rebuilds.
-        let t2 = simulate_recovery(&cfg(GB), &groups, &placement, NodeId(0))
-            .expect("tolerant");
+        let t2 = simulate_recovery(&cfg(GB), &groups, &placement, NodeId(0)).expect("tolerant");
         assert!((t - t2).abs() < 1.0, "symmetric cost: {t} vs {t2}");
     }
 }

@@ -68,13 +68,7 @@ impl NetworkTopology {
                 }
             }
             NetworkTopology::Torus3D { dims } => {
-                let coord = |n: usize| {
-                    (
-                        n % dims.0,
-                        (n / dims.0) % dims.1,
-                        n / (dims.0 * dims.1),
-                    )
-                };
+                let coord = |n: usize| (n % dims.0, (n / dims.0) % dims.1, n / (dims.0 * dims.1));
                 let ring = |x: usize, y: usize, extent: usize| {
                     let d = x.abs_diff(y);
                     d.min(extent - d) as u32
@@ -92,9 +86,7 @@ impl NetworkTopology {
     pub fn diameter(&self) -> u32 {
         match *self {
             NetworkTopology::FatTree { .. } => 6,
-            NetworkTopology::Torus3D { dims } => {
-                (dims.0 / 2 + dims.1 / 2 + dims.2 / 2) as u32
-            }
+            NetworkTopology::Torus3D { dims } => (dims.0 / 2 + dims.1 / 2 + dims.2 / 2) as u32,
         }
     }
 }

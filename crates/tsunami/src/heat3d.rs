@@ -176,27 +176,25 @@ impl Heat3dState {
     pub fn face_out(&self, f: Face) -> Vec<f64> {
         let (lnx, lny, lnz) = self.ln;
         let mut out = Vec::new();
-        let pick = |out: &mut Vec<f64>, fix_dim: usize, fix: usize| {
-            match fix_dim {
-                0 => {
-                    for k in 1..=lnz {
-                        for j in 1..=lny {
-                            out.push(self.t[self.idx(fix, j, k)]);
-                        }
-                    }
-                }
-                1 => {
-                    for k in 1..=lnz {
-                        for i in 1..=lnx {
-                            out.push(self.t[self.idx(i, fix, k)]);
-                        }
-                    }
-                }
-                _ => {
+        let pick = |out: &mut Vec<f64>, fix_dim: usize, fix: usize| match fix_dim {
+            0 => {
+                for k in 1..=lnz {
                     for j in 1..=lny {
-                        for i in 1..=lnx {
-                            out.push(self.t[self.idx(i, j, fix)]);
-                        }
+                        out.push(self.t[self.idx(fix, j, k)]);
+                    }
+                }
+            }
+            1 => {
+                for k in 1..=lnz {
+                    for i in 1..=lnx {
+                        out.push(self.t[self.idx(i, fix, k)]);
+                    }
+                }
+            }
+            _ => {
+                for j in 1..=lny {
+                    for i in 1..=lnx {
+                        out.push(self.t[self.idx(i, j, fix)]);
                     }
                 }
             }
@@ -401,10 +399,7 @@ mod tests {
     use super::*;
     use hcft_simmpi::World;
 
-    fn gather_global(
-        states: &[Heat3dState],
-        dims: (usize, usize, usize),
-    ) -> Vec<f64> {
+    fn gather_global(states: &[Heat3dState], dims: (usize, usize, usize)) -> Vec<f64> {
         let mut global = vec![0.0; dims.0 * dims.1 * dims.2];
         for st in states {
             let (x0, y0, z0) = st.offsets();

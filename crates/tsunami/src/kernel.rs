@@ -203,8 +203,7 @@ impl RankState {
 
     /// Serialise the full state (η, u, v, iteration).
     pub fn save_state(&self) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity(8 * (4 + self.eta.len() + self.u.len() + self.v.len()));
+        let mut out = Vec::with_capacity(8 * (4 + self.eta.len() + self.u.len() + self.v.len()));
         out.extend_from_slice(&self.iter.to_le_bytes());
         for field in [&self.eta, &self.u, &self.v] {
             out.extend_from_slice(&(field.len() as u64).to_le_bytes());

@@ -70,7 +70,8 @@ impl<'a> TsunamiSim<'a> {
         }
         for dir in Dir::ALL {
             if let Some(nbr) = self.state.neighbor(dir) {
-                self.comm.isend(nbr, halo_tag(dir), &self.state.edge_out(dir));
+                self.comm
+                    .isend(nbr, halo_tag(dir), &self.state.edge_out(dir));
             }
         }
         for (dir, req) in pending {

@@ -14,7 +14,10 @@ fn main() {
     let ppn: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
 
     let cfg = TracedJobConfig::small(nodes, ppn);
-    println!("tracing {} application ranks on {nodes} nodes…\n", nodes * ppn);
+    println!(
+        "tracing {} application ranks on {nodes} nodes…\n",
+        nodes * ppn
+    );
     let trace = run_traced_job(&cfg);
     let placement = trace.layout.app_placement();
     let n = placement.nprocs();
@@ -53,8 +56,7 @@ fn main() {
 
     println!("\n— hierarchical (L1 containment / L2 encoding) —");
     println!("L1-nodes  logging   restart  enc(1GB)    P(cat)   baseline");
-    let node_graph =
-        WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+    let node_graph = WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
     for l1 in [4usize, 8] {
         if l1 > nodes {
             continue;
@@ -72,7 +74,11 @@ fn main() {
             s.restart_fraction * 100.0,
             s.encode_s_per_gb,
             s.p_catastrophic,
-            if baseline.meets_all(&s) { "PASS" } else { "fail" }
+            if baseline.meets_all(&s) {
+                "PASS"
+            } else {
+                "fail"
+            }
         );
     }
     // The §III sweet-spot search, automated.
@@ -81,7 +87,11 @@ fn main() {
         "\nautotune winner: {} (worst baseline ratio {:.3}, {})",
         best.scheme.name,
         best.chebyshev,
-        if best.chebyshev <= 1.0 { "admissible" } else { "INADMISSIBLE" }
+        if best.chebyshev <= 1.0 {
+            "admissible"
+        } else {
+            "INADMISSIBLE"
+        }
     );
     println!(
         "\nReading guide: consecutive clusters trade logging vs restart but die with\n\

@@ -14,8 +14,7 @@ fn main() {
     let trace = run_traced_job(&TracedJobConfig::small(32, 8));
     let placement = trace.layout.app_placement();
     let n = placement.nprocs();
-    let node_graph =
-        WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+    let node_graph = WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
     let evaluator = Evaluator::new(trace.app.clone(), placement.clone());
     let schemes = vec![
         naive(n, 32),

@@ -27,8 +27,7 @@ fn main() {
     // 2. Build the four §III/§IV clustering strategies.
     let placement = trace.layout.app_placement();
     let n = placement.nprocs();
-    let node_graph =
-        WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+    let node_graph = WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
     let schemes = vec![
         naive(n, 32),
         size_guided(n, 8),
@@ -49,7 +48,11 @@ fn main() {
             s.restart_fraction * 100.0,
             s.encode_s_per_gb,
             s.p_catastrophic,
-            if baseline.meets_all(&s) { "PASS" } else { "fail" }
+            if baseline.meets_all(&s) {
+                "PASS"
+            } else {
+                "fail"
+            }
         );
     }
     println!(

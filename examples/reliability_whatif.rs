@@ -30,14 +30,8 @@ fn main() {
         ("distributed, size 16", distributed(&placement, 16).l2),
     ] {
         let p = model.p_catastrophic(&clustering, &placement, &fti_tolerance);
-        let mc = model.q_given_j_monte_carlo(
-            2,
-            &clustering,
-            &placement,
-            &fti_tolerance,
-            100_000,
-            7,
-        );
+        let mc =
+            model.q_given_j_monte_carlo(2, &clustering, &placement, &fti_tolerance, 100_000, 7);
         println!("{name:<26} {p:>12.3e}   q(2)≈{mc:.4}");
     }
 
@@ -57,13 +51,19 @@ fn main() {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
     for (label, process) in [
         ("exponential, MTBF 6 h", FailureArrivals::exponential(6.0)),
-        ("Weibull k=0.7 (infant-heavy)", FailureArrivals::weibull(6.0, 0.7)),
+        (
+            "Weibull k=0.7 (infant-heavy)",
+            FailureArrivals::weibull(6.0, 0.7),
+        ),
     ] {
         let times = process.sample_times(24.0, &mut rng);
         println!(
             "  {label:<30} {} failures at {:?} h",
             times.len(),
-            times.iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>()
+            times
+                .iter()
+                .map(|t| (t * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -16,8 +16,7 @@ use hcft::topology::NetworkTopology;
 fn main() {
     let trace = run_traced_job(&TracedJobConfig::small(32, 8));
     let placement = trace.layout.app_placement();
-    let node_graph =
-        WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+    let node_graph = WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
     let nodes = placement.nodes();
     println!(
         "node graph: {} nodes, {} edges, {} bytes total\n",
@@ -34,11 +33,17 @@ fn main() {
                 switches_per_pod: 2,
             },
         ),
-        ("3-D torus 4x4x2", NetworkTopology::Torus3D { dims: (4, 4, 2) }),
+        (
+            "3-D torus 4x4x2",
+            NetworkTopology::Torus3D { dims: (4, 4, 2) },
+        ),
     ];
     let physical: Vec<NodeId> = (0..nodes).map(NodeId::from).collect();
 
-    println!("{:<28} {:>10} {:>11} {:>10}", "topology", "identity", "scrambled", "optimised");
+    println!(
+        "{:<28} {:>10} {:>11} {:>10}",
+        "topology", "identity", "scrambled", "optimised"
+    );
     for (name, topo) in &topologies {
         let id = identity_mapping(nodes);
         let scrambled: Vec<NodeId> = (0..nodes)

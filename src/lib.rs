@@ -53,8 +53,8 @@ pub use hcft_tsunami as tsunami;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer};
     pub use hcft_checkpoint::Level as CheckpointLevel;
+    pub use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer};
     pub use hcft_cluster::{
         autotune, distributed, hierarchical, naive, size_guided, BaselineRequirements,
         ClusteringScheme, Evaluator, FourDScore, HierarchicalConfig,

@@ -5,13 +5,10 @@
 
 use hcft::prelude::*;
 
-fn schemes_for(
-    trace: &TraceResult,
-) -> (Placement, Vec<ClusteringScheme>) {
+fn schemes_for(trace: &TraceResult) -> (Placement, Vec<ClusteringScheme>) {
     let placement = trace.layout.app_placement();
     let n = placement.nprocs();
-    let node_graph =
-        WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+    let node_graph = WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
     let schemes = vec![
         naive(n, 32),
         size_guided(n, 8),
@@ -40,10 +37,22 @@ fn table2_shape_holds_at_reduced_scale() {
 
     // Logging: hierarchical and naive are low; size-guided noticeably
     // higher (smaller clusters); distributed near-total.
-    assert!(hi.logging_fraction < 0.15, "hier logging {}", hi.logging_fraction);
-    assert!(nv.logging_fraction < 0.15, "naive logging {}", nv.logging_fraction);
+    assert!(
+        hi.logging_fraction < 0.15,
+        "hier logging {}",
+        hi.logging_fraction
+    );
+    assert!(
+        nv.logging_fraction < 0.15,
+        "naive logging {}",
+        nv.logging_fraction
+    );
     assert!(sg.logging_fraction > nv.logging_fraction);
-    assert!(ds.logging_fraction > 0.8, "dist logging {}", ds.logging_fraction);
+    assert!(
+        ds.logging_fraction > 0.8,
+        "dist logging {}",
+        ds.logging_fraction
+    );
 
     // Restart: size-guided < naive ≈ hierarchical < distributed.
     assert!(sg.restart_fraction < nv.restart_fraction);
@@ -137,8 +146,7 @@ fn scaling_reduces_hierarchical_restart_fraction() {
     for nodes in [8usize, 16, 32] {
         let trace = run_traced_job(&TracedJobConfig::small(nodes, 4));
         let placement = trace.layout.app_placement();
-        let node_graph =
-            WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
+        let node_graph = WeightedGraph::from_comm_matrix(&trace.app.aggregate_by_node(&placement));
         let scheme = hierarchical(
             &placement,
             &node_graph,

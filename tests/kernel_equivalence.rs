@@ -1,0 +1,128 @@
+//! Kernel-equivalence properties: every GF(2⁸) multiply-accumulate
+//! kernel must be byte-identical to the scalar full-table reference, for
+//! every coefficient, for lengths spanning 0–4096 (deliberately
+//! including non-multiples of the 8/16/32-byte register widths so the
+//! tail paths are exercised), and through the full Reed–Solomon
+//! round-trip at every FTI group shape.
+
+use hcft_erasure::{Kernel, ReedSolomon};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random bytes for a (seed, len) pair.
+fn bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 56) as u8
+        })
+        .collect()
+}
+
+fn mul_acc_all_kernels(len: usize, coeff: u8, seed: u64) -> Result<(), String> {
+    let src = bytes(seed, len);
+    let dst_init = bytes(seed ^ 0xDEAD_BEEF, len);
+    let mut expect = dst_init.clone();
+    Kernel::Reference.mul_acc(&mut expect, &src, coeff);
+    for kernel in Kernel::available() {
+        let mut dst = dst_init.clone();
+        kernel.mul_acc(&mut dst, &src, coeff);
+        if dst != expect {
+            let at = dst
+                .iter()
+                .zip(&expect)
+                .position(|(a, b)| a != b)
+                .expect("some byte differs");
+            return Err(format!(
+                "kernel {} diverges from reference at byte {at}/{len} (coeff={coeff:#04x})",
+                kernel.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Random (length, coefficient) pairs across the whole 0–4096 range.
+    #[test]
+    fn kernels_match_reference_on_random_lengths(
+        len in 0usize..=4096,
+        coeff in 0u8..=255,
+        seed: u64,
+    ) {
+        mul_acc_all_kernels(len, coeff, seed).map_err(TestCaseError::fail)?;
+    }
+
+    /// Lengths straddling every register width: 8 (u64), 16 (SSSE3) and
+    /// 32 (AVX2) bytes, each ±1, so tail handling is hit on every path.
+    #[test]
+    fn kernels_match_reference_on_register_tails(
+        base in prop::sample::select(&[0usize, 8, 16, 32, 64, 128, 1024, 4088][..]),
+        delta in 0usize..=8,
+        coeff in 0u8..=255,
+        seed: u64,
+    ) {
+        mul_acc_all_kernels(base + delta, coeff, seed).map_err(TestCaseError::fail)?;
+    }
+
+    /// Full encode → erase → reconstruct round-trip at every FTI group
+    /// shape from 2 to 32 members, with shard lengths crossing the
+    /// register widths. The active (auto-dispatched) kernel must produce
+    /// parity the reference-checked reconstruction inverts exactly.
+    #[test]
+    fn fti_group_shapes_round_trip(
+        group in 2usize..=32,
+        len in 1usize..=200,
+        seed: u64,
+    ) {
+        let rs = ReedSolomon::fti_for_group(group);
+        let k = rs.data_shards();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| bytes(seed.wrapping_add(i as u64), len))
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| &d[..]).collect();
+        let parity = rs.encode(&refs);
+        let mut all: Vec<&[u8]> = refs.clone();
+        all.extend(parity.iter().map(|p| &p[..]));
+        prop_assert!(rs.verify(&all), "freshly encoded parity must verify");
+        // Erase the maximum tolerable number of shards.
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+        let mut work: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        let mut s = seed | 1;
+        let mut killed = 0;
+        while killed < rs.parity_shards() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (s >> 33) as usize % work.len();
+            if work[idx].is_some() {
+                work[idx] = None;
+                killed += 1;
+            }
+        }
+        rs.reconstruct(&mut work).expect("worst tolerable erasure");
+        for (i, shard) in work.iter().enumerate() {
+            prop_assert_eq!(shard.as_ref().expect("rebuilt"), &full[i]);
+        }
+    }
+}
+
+/// Exhaustive sweep over every coefficient at one awkward length — not a
+/// property test so no coefficient is ever skipped by sampling.
+#[test]
+fn every_coefficient_matches_reference() {
+    for coeff in 0..=255u8 {
+        mul_acc_all_kernels(177, coeff, 0x5EED).expect("kernel equivalence");
+    }
+}
+
+/// The SIMD kernels this machine reports must include the portable ones,
+/// and the dispatcher must pick something available.
+#[test]
+fn dispatch_is_sane() {
+    let avail = Kernel::available();
+    assert!(avail.contains(&Kernel::Reference));
+    assert!(avail.contains(&Kernel::Portable64));
+    assert!(avail.contains(&hcft_erasure::kernel::active()));
+}

@@ -20,17 +20,15 @@ fn arb_machine() -> impl Strategy<Value = (Placement, Clustering)> {
 
 /// Random sparse traffic over `n` ranks.
 fn arb_matrix(n: usize) -> impl Strategy<Value = CommMatrix> {
-    proptest::collection::vec((0usize..n, 0usize..n, 1u64..1000), 0..64).prop_map(
-        move |edges| {
-            let mut m = CommMatrix::new(n);
-            for (s, d, b) in edges {
-                if s != d {
-                    m.add(s, d, b);
-                }
+    proptest::collection::vec((0usize..n, 0usize..n, 1u64..1000), 0..64).prop_map(move |edges| {
+        let mut m = CommMatrix::new(n);
+        for (s, d, b) in edges {
+            if s != d {
+                m.add(s, d, b);
             }
-            m
-        },
-    )
+        }
+        m
+    })
 }
 
 proptest! {

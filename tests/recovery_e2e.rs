@@ -134,7 +134,9 @@ fn same_node_encoding_clusters_hit_the_catastrophic_path() {
     drill.run_to(6).expect("run");
     drill.inject_node_failure(NodeId(2)).expect("kill");
     match drill.recover() {
-        Err(RecoverError::Catastrophic { missing, tolerance, .. }) => {
+        Err(RecoverError::Catastrophic {
+            missing, tolerance, ..
+        }) => {
             assert!(missing > tolerance);
         }
         other => panic!("expected catastrophic failure, got {other:?}"),
