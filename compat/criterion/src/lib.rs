@@ -101,7 +101,7 @@ impl Default for Criterion {
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(1),
             sample_size: 10,
-            filter: std::env::args().find(|a| !a.starts_with('-') && !a.ends_with("bench")),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
             results: Vec::new(),
         }
     }

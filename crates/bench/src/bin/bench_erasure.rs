@@ -10,7 +10,12 @@
 //! ```
 //!
 //! `BENCH_ERASURE_QUICK=1` shrinks warm-up/measurement for CI smoke runs;
-//! `BENCH_ERASURE_OUT` overrides the output path.
+//! `BENCH_ERASURE_OUT` overrides the output path. Every measurement is
+//! also folded into the process-global telemetry registry
+//! (`bench.erasure.*` gauges, `erasure.dispatch.*` counters from the
+//! kernels themselves) and snapshotted to `TELEMETRY_bench_erasure.json`
+//! next to the benchmark JSON (`BENCH_ERASURE_TELEMETRY_OUT`
+//! overrides).
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -96,6 +101,7 @@ fn main() {
         (Duration::from_millis(300), Duration::from_secs(1), 10)
     };
 
+    let reg = hcft_telemetry::Registry::global();
     let kernels = Kernel::available();
     let shapes: &[(usize, usize)] = &[(4, 2), (8, 4), (16, 8)];
     let shard_sizes: &[usize] = &[64 * 1024, 1 << 20];
@@ -136,6 +142,11 @@ fn main() {
                     "encode  {:<10} k={k:<2} m={m:<2} shard={shard:>7}  {gbps:6.3} GB/s  ({speedup:.2}x ref)",
                     kernel.name()
                 );
+                reg.gauge(&format!(
+                    "bench.erasure.encode.{}.k{k}m{m}.s{shard}.gbps",
+                    kernel.name()
+                ))
+                .set(gbps);
                 rows.push(Row {
                     kernel: kernel.name(),
                     k,
@@ -169,6 +180,8 @@ fn main() {
     );
     let reconstruct_gbps = shard as f64 / secs / 1e9;
     let cache = rs.decode_cache_stats();
+    reg.gauge("bench.erasure.reconstruct.fti8.gbps")
+        .set(reconstruct_gbps);
     eprintln!(
         "reconstruct fti(8) 1-erasure: {reconstruct_gbps:.3} GB/s rebuilt \
          (decode cache: {} hits / {} misses)",
@@ -207,6 +220,14 @@ fn main() {
     let out = std::env::var("BENCH_ERASURE_OUT").unwrap_or_else(|_| "BENCH_erasure.json".into());
     std::fs::write(&out, &json).expect("write BENCH_erasure.json");
     eprintln!("wrote {out}");
+
+    // The same measurements through the observability path: gauges set
+    // above plus the kernels' own dispatch counters.
+    let telemetry_out = std::env::var("BENCH_ERASURE_TELEMETRY_OUT")
+        .unwrap_or_else(|_| "TELEMETRY_bench_erasure.json".into());
+    reg.write_json(&telemetry_out)
+        .expect("write telemetry JSON");
+    eprintln!("wrote {telemetry_out}");
 
     // Regression gate: the dispatched kernel must beat the full-table
     // reference by ≥3x on the (k=4, m=2), 1 MiB shard configuration.

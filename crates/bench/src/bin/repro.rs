@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale paper|small] [--out DIR] <artifact>...
+//! repro [--scale paper|small] [--out DIR] [--telemetry PATH] <artifact>...
 //!
 //! artifacts: table1 table2 fig3a fig3b fig4a fig4b fig4c
 //!            fig5a fig5b fig5c scaling all
@@ -11,7 +11,11 @@
 //! × 16 application ranks + 64 FTI encoder ranks); `--scale small`
 //! (default) runs a structurally identical 144-rank job in seconds.
 //! Reports print to stdout; CSV series land under `--out` (default
-//! `results/`).
+//! `results/`). `--telemetry PATH` snapshots the process-global
+//! telemetry registry to a JSON file after all artifacts complete —
+//! the `table2.*` counters in it carry the same logged-bytes and
+//! restart numbers as the rendered table, computed through the
+//! instrumentation path instead of the report path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -42,7 +46,7 @@ const ALL: &[&str] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--scale paper|small] [--out DIR] <artifact>...\n\
+        "usage: repro [--scale paper|small] [--out DIR] [--telemetry PATH] <artifact>...\n\
          artifacts: {} all",
         ALL.join(" ")
     );
@@ -52,6 +56,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut out = PathBuf::from("results");
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +72,12 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 out = PathBuf::from(v);
+            }
+            "--telemetry" => {
+                let Some(v) = args.next() else {
+                    return usage();
+                };
+                telemetry_out = Some(PathBuf::from(v));
             }
             "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
             a if ALL.contains(&a) => wanted.push(a.to_string()),
@@ -111,6 +122,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(path) = telemetry_out {
+        if let Err(e) = hcft_telemetry::Registry::global().write_json(&path) {
+            eprintln!("failed to write telemetry JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[telemetry] {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -351,25 +351,18 @@ fn schemes_and_scores(
     Vec<hcft_cluster::FourDScore>,
 ) {
     let t = traced(scale);
-    let placement = t.layout.app_placement();
-    let n = placement.nprocs();
     let (nv, sg, ds) = scale.table2_sizes();
-    let node_graph = WeightedGraph::from_comm_matrix(&t.app.aggregate_by_node(&placement));
     let hier_cfg = HierarchicalConfig {
         min_nodes_per_l1: 4,
         max_nodes_per_l1: 4,
         l2_group_nodes: 4,
         ..Default::default()
     };
-    let schemes = vec![
-        naive(n, nv),
-        hcft_cluster::size_guided(n, sg),
-        distributed(&placement, ds),
-        hierarchical(&placement, &node_graph, &hier_cfg),
-    ];
-    let evaluator = Evaluator::new(t.app.clone(), placement);
-    let scores = schemes.iter().map(|s| evaluator.evaluate(s)).collect();
-    (schemes, scores)
+    // Iterates the ClusteringStrategy registry and publishes the
+    // `table2.*` metrics into the global telemetry registry as a side
+    // effect (picked up by `repro --telemetry`).
+    let ev = hcft_core::experiment::evaluate_schemes(t, nv, sg, ds, &hier_cfg);
+    (ev.schemes, ev.scores)
 }
 
 /// Table II: the four-dimension comparison of all clustering strategies.

@@ -32,7 +32,8 @@ pub mod multilevel;
 pub mod store;
 
 pub use cost::CheckpointCostModel;
-pub use multilevel::{MultilevelCheckpointer, RecoverError};
+pub use hcft_telemetry::HcftError;
+pub use multilevel::MultilevelCheckpointer;
 pub use store::CheckpointStore;
 
 /// Checkpoint levels in increasing resilience / cost order.

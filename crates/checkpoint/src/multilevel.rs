@@ -10,57 +10,19 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use hcft_graph::Clustering;
+use hcft_telemetry::{HcftError, Registry};
 use hcft_topology::Placement;
 use rayon::prelude::*;
 
+use hcft_erasure::rs::DecodeCacheStats;
 use hcft_erasure::{ReedSolomon, XorCode};
 
 use crate::store::CheckpointStore;
 use crate::Level;
-
-/// Recovery failure.
-#[derive(Debug)]
-pub enum RecoverError {
-    /// Underlying I/O problem unrelated to data loss.
-    Io(io::Error),
-    /// An encoding cluster lost more shards than its parity covers and no
-    /// PFS copy exists — the paper's *catastrophic failure*.
-    Catastrophic {
-        /// The encoding cluster that could not be rebuilt.
-        group: usize,
-        /// Shards missing vs. parity available.
-        missing: usize,
-        /// Erasure tolerance of the group.
-        tolerance: usize,
-    },
-}
-
-impl std::fmt::Display for RecoverError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RecoverError::Io(e) => write!(f, "I/O error: {e}"),
-            RecoverError::Catastrophic {
-                group,
-                missing,
-                tolerance,
-            } => write!(
-                f,
-                "catastrophic failure: group {group} lost {missing} shards (tolerance {tolerance})"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for RecoverError {}
-
-impl From<io::Error> for RecoverError {
-    fn from(e: io::Error) -> Self {
-        RecoverError::Io(e)
-    }
-}
 
 /// Frame a checkpoint payload for shard storage: `[len u64 LE][data]`.
 fn frame(payload: &[u8]) -> Vec<u8> {
@@ -100,15 +62,33 @@ pub struct MultilevelCheckpointer {
     /// Pool of parity buffer sets handed to [`ReedSolomon::encode_into`],
     /// so steady-state checkpoint rounds stop allocating parity.
     parity_scratch: Mutex<Vec<Vec<Vec<u8>>>>,
+    /// Metrics sink: bytes written per level, scratch-pool hit rate,
+    /// per-group encode/verify wall time, rebuilt payload bytes.
+    telemetry: Arc<Registry>,
 }
 
 impl MultilevelCheckpointer {
     /// Build over `store`, with `groups` as the encoding (L2) clustering
-    /// of ranks and `placement` mapping ranks to nodes.
+    /// of ranks and `placement` mapping ranks to nodes. Reports metrics
+    /// to [`Registry::global`]; see [`MultilevelCheckpointer::with_telemetry`].
     ///
     /// # Panics
     /// Panics if the clustering and placement disagree on the rank count.
     pub fn new(store: CheckpointStore, groups: Clustering, placement: Placement) -> Self {
+        Self::with_telemetry(store, groups, placement, Registry::global().clone())
+    }
+
+    /// Like [`MultilevelCheckpointer::new`], reporting to a dedicated
+    /// registry (scoped measurements: one drill, one test).
+    ///
+    /// # Panics
+    /// Panics if the clustering and placement disagree on the rank count.
+    pub fn with_telemetry(
+        store: CheckpointStore,
+        groups: Clustering,
+        placement: Placement,
+        telemetry: Arc<Registry>,
+    ) -> Self {
         assert_eq!(
             groups.nprocs(),
             placement.nprocs(),
@@ -120,7 +100,26 @@ impl MultilevelCheckpointer {
             placement,
             codes: Mutex::new(HashMap::new()),
             parity_scratch: Mutex::new(Vec::new()),
+            telemetry,
         }
+    }
+
+    /// The registry this checkpointer reports to.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
+    /// Aggregate decode-matrix cache counters across every RS code this
+    /// checkpointer has instantiated (one per distinct group size).
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        let codes = self.codes.lock().expect("codes lock");
+        let (mut hits, mut misses) = (0, 0);
+        for rs in codes.values() {
+            let s = rs.decode_cache_stats();
+            hits += s.hits;
+            misses += s.misses;
+        }
+        DecodeCacheStats { hits, misses }
     }
 
     /// The (shared, cached) RS code for encoding clusters of `s` members.
@@ -136,12 +135,15 @@ impl MultilevelCheckpointer {
     /// Borrow a set of `count` parity buffers of `len` bytes from the
     /// pool (allocating only on first use or growth).
     fn take_scratch(&self, count: usize, len: usize) -> Vec<Vec<u8>> {
-        let mut set = self
-            .parity_scratch
-            .lock()
-            .expect("scratch lock")
-            .pop()
-            .unwrap_or_default();
+        let pooled = self.parity_scratch.lock().expect("scratch lock").pop();
+        if pooled.is_some() {
+            self.telemetry.counter("checkpoint.scratch_pool.hits").inc();
+        } else {
+            self.telemetry
+                .counter("checkpoint.scratch_pool.misses")
+                .inc();
+        }
+        let mut set = pooled.unwrap_or_default();
         set.resize_with(count, Vec::new);
         for buf in &mut set {
             buf.resize(len, 0);
@@ -169,22 +171,38 @@ impl MultilevelCheckpointer {
     /// level: the local copy is always written, plus that level's
     /// protection artefacts (partner copies, XOR parity, Reed–Solomon
     /// parity, or PFS copies).
-    pub fn checkpoint(&self, epoch: u64, level: Level, payloads: &[Vec<u8>]) -> io::Result<()> {
+    pub fn checkpoint(
+        &self,
+        epoch: u64,
+        level: Level,
+        payloads: &[Vec<u8>],
+    ) -> Result<(), HcftError> {
         assert_eq!(payloads.len(), self.groups.nprocs(), "one payload per rank");
+        let mut local_bytes = 0u64;
         for (rank, payload) in payloads.iter().enumerate() {
             let node = self.placement.node_of(rank.into());
-            self.store.write_local(node, rank, epoch, &frame(payload))?;
+            let framed = frame(payload);
+            local_bytes += framed.len() as u64;
+            self.store.write_local(node, rank, epoch, &framed)?;
         }
+        self.telemetry
+            .counter("checkpoint.bytes_written.local")
+            .add(local_bytes);
         match level {
             Level::Local => {}
             Level::Partner => {
+                let mut partner_bytes = 0u64;
                 for (_, members) in self.groups.iter() {
                     for (i, &r) in members.iter().enumerate() {
                         let partner = self.partner_node(members, i);
+                        partner_bytes += payloads[r.idx()].len() as u64;
                         self.store
                             .write_partner(partner, r.idx(), epoch, &payloads[r.idx()])?;
                     }
                 }
+                self.telemetry
+                    .counter("checkpoint.bytes_written.partner")
+                    .add(partner_bytes);
             }
             Level::Xor => {
                 for (g, members) in self.groups.iter() {
@@ -193,9 +211,14 @@ impl MultilevelCheckpointer {
             }
             Level::Encoded => self.encode_epoch(epoch)?,
             Level::Pfs => {
+                let mut pfs_bytes = 0u64;
                 for (rank, payload) in payloads.iter().enumerate() {
+                    pfs_bytes += payload.len() as u64;
                     self.store.write_pfs(rank, epoch, payload)?;
                 }
+                self.telemetry
+                    .counter("checkpoint.bytes_written.pfs")
+                    .add(pfs_bytes);
             }
         }
         Ok(())
@@ -219,6 +242,7 @@ impl MultilevelCheckpointer {
         if members.len() < 2 {
             return Ok(());
         }
+        let started = Instant::now();
         let mut shards: Vec<Vec<u8>> = Vec::with_capacity(members.len());
         for &r in members {
             let node = self.placement.node_of(r);
@@ -238,13 +262,19 @@ impl MultilevelCheckpointer {
             self.store.write_xor(node, group, epoch, &parity)?;
             self.store.write_meta(node, group, epoch, padded as u64)?;
         }
+        self.telemetry
+            .counter("checkpoint.bytes_written.xor")
+            .add(holders.len() as u64 * parity.len() as u64);
+        self.telemetry
+            .histogram("checkpoint.xor_encode_group_ns")
+            .observe_duration(started.elapsed());
         Ok(())
     }
 
     /// Compute and store parity for every encoding group at `epoch`.
     /// Groups encode independently — in parallel, like FTI's per-node
     /// encoder processes.
-    pub fn encode_epoch(&self, epoch: u64) -> io::Result<()> {
+    pub fn encode_epoch(&self, epoch: u64) -> Result<(), HcftError> {
         let results: Vec<io::Result<()>> = self
             .groups
             .iter()
@@ -258,6 +288,55 @@ impl MultilevelCheckpointer {
         Ok(())
     }
 
+    /// Check that every group's stored parity is consistent with its
+    /// stored data shards at `epoch`. Groups verify in parallel; per-group
+    /// wall time lands in the `checkpoint.verify_group_ns` histogram.
+    /// Returns the ids of groups that fail verification (missing
+    /// artefacts count as failing).
+    pub fn verify_epoch(&self, epoch: u64) -> Result<Vec<usize>, HcftError> {
+        let bad: Vec<Option<usize>> = self
+            .groups
+            .iter()
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&(g, members)| (!self.verify_group(g, members, epoch)).then_some(g))
+            .collect();
+        Ok(bad.into_iter().flatten().collect())
+    }
+
+    fn verify_group(&self, group: usize, members: &[hcft_topology::Rank], epoch: u64) -> bool {
+        if members.len() < 2 {
+            return true;
+        }
+        let started = Instant::now();
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(2 * members.len());
+        for &r in members {
+            let node = self.placement.node_of(r);
+            match self.store.read_local(node, r.idx(), epoch) {
+                Ok(d) => shards.push(d),
+                Err(_) => return false,
+            }
+        }
+        let padded = shards.iter().map(Vec::len).max().expect("non-empty");
+        for s in &mut shards {
+            s.resize(padded, 0);
+        }
+        for &r in members {
+            let node = self.placement.node_of(r);
+            match self.store.read_parity(node, group, epoch) {
+                Ok(p) => shards.push(p),
+                Err(_) => return false,
+            }
+        }
+        let rs = self.code_for(members.len());
+        let refs: Vec<&[u8]> = shards.iter().map(|s| &s[..]).collect();
+        let ok = rs.verify(&refs);
+        self.telemetry
+            .histogram("checkpoint.verify_group_ns")
+            .observe_duration(started.elapsed());
+        ok
+    }
+
     fn encode_group(
         &self,
         group: usize,
@@ -267,6 +346,7 @@ impl MultilevelCheckpointer {
         if members.len() < 2 {
             return Ok(()); // nothing to protect a singleton against
         }
+        let started = Instant::now();
         let mut shards: Vec<Vec<u8>> = Vec::with_capacity(members.len());
         for &r in members {
             let node = self.placement.node_of(r);
@@ -284,20 +364,29 @@ impl MultilevelCheckpointer {
             rs.encode_into(&refs, outs);
         }
         let mut result = Ok(());
+        let mut parity_bytes = 0u64;
         for (i, &r) in members.iter().enumerate() {
             let node = self.placement.node_of(r);
+            parity_bytes += parity[i].len() as u64;
             result = result
                 .and_then(|()| self.store.write_parity(node, group, epoch, &parity[i]))
                 .and_then(|()| self.store.write_meta(node, group, epoch, padded as u64));
         }
         self.return_scratch(parity);
+        self.telemetry
+            .counter("checkpoint.bytes_written.parity")
+            .add(parity_bytes);
+        self.telemetry
+            .histogram("checkpoint.encode_group_ns")
+            .observe_duration(started.elapsed());
         result
     }
 
     /// Recover every rank's payload at `epoch`, rebuilding lost local
     /// checkpoints from parity where needed, falling back to the PFS
-    /// copy, and reporting a catastrophic failure otherwise.
-    pub fn recover(&self, epoch: u64) -> Result<Vec<Vec<u8>>, RecoverError> {
+    /// copy, and reporting a catastrophic failure
+    /// ([`HcftError::Erasure`]) otherwise.
+    pub fn recover(&self, epoch: u64) -> Result<Vec<Vec<u8>>, HcftError> {
         let n = self.groups.nprocs();
         let mut out: Vec<Option<Vec<u8>>> = vec![None; n];
         // Fast path: intact local checkpoints.
@@ -307,6 +396,10 @@ impl MultilevelCheckpointer {
                 *slot = Some(unframe(&bytes)?);
             }
         }
+        // Ranks that missed the fast path: whatever comes back for them
+        // was *rebuilt* (partner / parity / PFS), which the registry
+        // reports as `checkpoint.rebuilt_payload_bytes`.
+        let lost: Vec<usize> = (0..n).filter(|&r| out[r].is_none()).collect();
         // Cascade per group: partner copies → XOR parity → Reed–Solomon
         // → PFS. Each stage only runs for ranks still missing.
         for (g, members) in self.groups.iter() {
@@ -347,12 +440,15 @@ impl MultilevelCheckpointer {
                             match self.store.read_pfs(r.idx(), epoch) {
                                 Ok(bytes) => out[r.idx()] = Some(bytes),
                                 Err(_) => {
+                                    // A group of s members is an RS(s, s)
+                                    // code: any s of its 2s shards decode.
+                                    // Members still missing here lost both
+                                    // their data and parity shard.
                                     let missing =
                                         members.iter().filter(|&&m| out[m.idx()].is_none()).count();
-                                    return Err(RecoverError::Catastrophic {
-                                        group: g,
-                                        missing,
-                                        tolerance: members.len() / 2,
+                                    return Err(HcftError::Erasure {
+                                        needed: members.len(),
+                                        available: 2 * (members.len() - missing),
                                     });
                                 }
                             }
@@ -361,6 +457,22 @@ impl MultilevelCheckpointer {
                 }
             }
         }
+        self.telemetry
+            .counter("checkpoint.rebuilt_payload_bytes")
+            .add(
+                lost.iter()
+                    .map(|&r| out[r].as_ref().expect("recovered").len() as u64)
+                    .sum(),
+            );
+        // Absolute per-store decode-cache totals (the `erasure.*` mirror
+        // is process-global; this one follows the scoped registry).
+        let cache = self.decode_cache_stats();
+        self.telemetry
+            .counter("checkpoint.decode_cache.hits")
+            .store(cache.hits);
+        self.telemetry
+            .counter("checkpoint.decode_cache.misses")
+            .store(cache.misses);
         Ok(out
             .into_iter()
             .map(|p| p.expect("all ranks recovered"))
@@ -377,7 +489,7 @@ impl MultilevelCheckpointer {
         members: &[hcft_topology::Rank],
         epoch: u64,
         out: &[Option<Vec<u8>>],
-    ) -> Result<Option<Vec<RebuiltPayload>>, RecoverError> {
+    ) -> Result<Option<Vec<RebuiltPayload>>, HcftError> {
         if members.len() < 2 {
             return Ok(None);
         }
@@ -432,7 +544,7 @@ impl MultilevelCheckpointer {
         group: usize,
         members: &[hcft_topology::Rank],
         epoch: u64,
-    ) -> Result<Option<Vec<Vec<u8>>>, RecoverError> {
+    ) -> Result<Option<Vec<Vec<u8>>>, HcftError> {
         if members.len() < 2 {
             return Ok(None);
         }
@@ -581,7 +693,7 @@ mod tests {
             ml.store().fail_node(NodeId(n)).expect("kill");
         }
         match ml.recover(4) {
-            Err(RecoverError::Catastrophic { .. }) => {}
+            Err(HcftError::Erasure { .. }) => {}
             other => panic!("expected catastrophic, got {other:?}"),
         }
     }
@@ -609,10 +721,7 @@ mod tests {
         let data = payloads(4);
         ml.checkpoint(1, Level::Encoded, &data).expect("ckpt");
         ml.store().fail_node(NodeId(0)).expect("kill");
-        assert!(matches!(
-            ml.recover(1),
-            Err(RecoverError::Catastrophic { .. })
-        ));
+        assert!(matches!(ml.recover(1), Err(HcftError::Erasure { .. })));
     }
 
     #[test]
@@ -713,10 +822,7 @@ mod partner_xor_level_tests {
         ml.checkpoint(1, Level::Partner, &data).expect("ckpt");
         ml.store().fail_node(NodeId(1)).expect("kill");
         ml.store().fail_node(NodeId(2)).expect("kill");
-        assert!(matches!(
-            ml.recover(1),
-            Err(RecoverError::Catastrophic { .. })
-        ));
+        assert!(matches!(ml.recover(1), Err(HcftError::Erasure { .. })));
     }
 
     #[test]
@@ -737,10 +843,7 @@ mod partner_xor_level_tests {
         ml.checkpoint(3, Level::Xor, &data).expect("ckpt");
         ml.store().fail_node(NodeId(1)).expect("kill");
         ml.store().fail_node(NodeId(3)).expect("kill");
-        assert!(matches!(
-            ml.recover(3),
-            Err(RecoverError::Catastrophic { .. })
-        ));
+        assert!(matches!(ml.recover(3), Err(HcftError::Erasure { .. })));
     }
 
     #[test]
@@ -767,9 +870,6 @@ mod partner_xor_level_tests {
         let data = payloads(4);
         ml.checkpoint(1, Level::Partner, &data).expect("ckpt");
         ml.store().fail_node(NodeId(0)).expect("kill");
-        assert!(matches!(
-            ml.recover(1),
-            Err(RecoverError::Catastrophic { .. })
-        ));
+        assert!(matches!(ml.recover(1), Err(HcftError::Erasure { .. })));
     }
 }

@@ -86,6 +86,11 @@ impl Evaluator {
     }
 
     /// Score a scheme on all four dimensions.
+    ///
+    /// Besides returning the [`FourDScore`], the raw byte counts and the
+    /// four dimensions are published under `table2.<scheme-slug>.*` in
+    /// the process-global telemetry registry, so a `--telemetry` export
+    /// carries the same numbers as the rendered table.
     pub fn evaluate(&self, scheme: &ClusteringScheme) -> FourDScore {
         let protocol = HybridProtocol::new(scheme.l1.clone());
         let stats = protocol.stats_from_matrix(&self.matrix);
@@ -96,14 +101,49 @@ impl Evaluator {
         let p_cat = self
             .reliability
             .p_catastrophic(&scheme.l2, &self.placement, &fti_tolerance);
-        FourDScore {
+        let score = FourDScore {
             name: scheme.name.clone(),
             logging_fraction: stats.logged_fraction(),
             restart_fraction: restart,
             encode_s_per_gb: encode,
             p_catastrophic: p_cat,
+        };
+        publish_score(&score, stats.logged_bytes, stats.total_bytes);
+        score
+    }
+}
+
+/// `"Hierarchical (4 nd.)"` → `"hierarchical_4_nd"`.
+fn slugify(name: &str) -> String {
+    let mut slug = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('_') && !slug.is_empty() {
+            slug.push('_');
         }
     }
+    slug.trim_end_matches('_').to_string()
+}
+
+/// Publish one Table II row into the process-global registry. Counters
+/// use `store` (not `add`) so re-evaluating a scheme overwrites rather
+/// than accumulates.
+fn publish_score(score: &FourDScore, logged_bytes: u64, total_bytes: u64) {
+    let reg = hcft_telemetry::Registry::global();
+    let slug = slugify(&score.name);
+    reg.counter(&format!("table2.{slug}.logged_bytes"))
+        .store(logged_bytes);
+    reg.counter(&format!("table2.{slug}.total_bytes"))
+        .store(total_bytes);
+    reg.gauge(&format!("table2.{slug}.logging_fraction"))
+        .set(score.logging_fraction);
+    reg.gauge(&format!("table2.{slug}.restart_fraction"))
+        .set(score.restart_fraction);
+    reg.gauge(&format!("table2.{slug}.encode_s_per_gb"))
+        .set(score.encode_s_per_gb);
+    reg.gauge(&format!("table2.{slug}.p_catastrophic"))
+        .set(score.p_catastrophic);
 }
 
 #[cfg(test)]
@@ -149,6 +189,30 @@ mod tests {
         assert!((s_ds.restart_fraction - 1.0).abs() < 1e-12);
         // But reliability improves by orders of magnitude.
         assert!(s_ds.p_catastrophic < s_nv.p_catastrophic / 1e3);
+    }
+
+    #[test]
+    fn slugify_flattens_table_names() {
+        assert_eq!(slugify("Hierarchical (4 nd.)"), "hierarchical_4_nd");
+        assert_eq!(slugify("naive (32 pr.)"), "naive_32_pr");
+        assert_eq!(slugify("distributed"), "distributed");
+    }
+
+    #[test]
+    fn evaluate_publishes_table2_metrics_globally() {
+        let ev = setup();
+        let s = ev.evaluate(&naive(16, 4));
+        let reg = hcft_telemetry::Registry::global();
+        let slug = slugify(&s.name);
+        let logged = reg.counter(&format!("table2.{slug}.logged_bytes")).get();
+        let total = reg.counter(&format!("table2.{slug}.total_bytes")).get();
+        assert!(total > 0);
+        // Counter path and score path agree — two routes, one number.
+        assert!((logged as f64 / total as f64 - s.logging_fraction).abs() < 1e-12);
+        assert_eq!(
+            reg.gauge(&format!("table2.{slug}.restart_fraction")).get(),
+            s.restart_fraction
+        );
     }
 
     #[test]

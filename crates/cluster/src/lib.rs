@@ -22,11 +22,17 @@ pub mod autotune;
 pub mod baseline;
 pub mod evaluator;
 pub mod strategies;
+pub mod strategy;
 
 pub use autotune::{autotune, candidates, Candidate};
 pub use baseline::BaselineRequirements;
 pub use evaluator::{Evaluator, FourDScore};
+pub use hcft_telemetry::HcftError;
 pub use strategies::{
     distributed, hierarchical, naive, size_guided, ClusteringScheme, HierarchicalConfig,
     PartitionEngine,
+};
+pub use strategy::{
+    registry, registry_with, ClusteringStrategy, Distributed, Hierarchical, Naive, SizeGuided,
+    StrategyContext,
 };

@@ -31,6 +31,10 @@ impl ClusteringScheme {
 
 /// §III-A — naïve clustering: consecutive ranks in clusters of `size`
 /// (the paper settles on 32 as the logging/restart sweet spot).
+///
+/// Prefer [`crate::strategy::Naive`] for validated, non-panicking
+/// construction via the unified [`crate::strategy::ClusteringStrategy`]
+/// API.
 pub fn naive(nprocs: usize, size: usize) -> ClusteringScheme {
     ClusteringScheme::flat(
         format!("naive ({size} pr.)"),
@@ -40,6 +44,9 @@ pub fn naive(nprocs: usize, size: usize) -> ClusteringScheme {
 
 /// §III-B — size-guided clustering: mechanically identical to naïve but
 /// the size is chosen to balance encoding time too (the paper picks 8).
+///
+/// Prefer [`crate::strategy::SizeGuided`] for validated, non-panicking
+/// construction.
 pub fn size_guided(nprocs: usize, size: usize) -> ClusteringScheme {
     ClusteringScheme::flat(
         format!("size-guided ({size} pr.)"),
@@ -58,7 +65,8 @@ pub fn size_guided(nprocs: usize, size: usize) -> ClusteringScheme {
 ///
 /// # Panics
 /// Panics if any node hosts fewer ranks than another (slots must align)
-/// or if `size` exceeds the node count.
+/// or if `size` exceeds the node count. Prefer
+/// [`crate::strategy::Distributed`] to get an error instead.
 pub fn distributed(placement: &Placement, size: usize) -> ClusteringScheme {
     let nodes = placement.nodes();
     assert!(
@@ -138,7 +146,8 @@ impl Default for HierarchicalConfig {
 ///
 /// # Panics
 /// Panics if the node graph and placement disagree, or if an L1 cluster
-/// cannot hold a full L2 group.
+/// cannot hold a full L2 group. Prefer [`crate::strategy::Hierarchical`]
+/// to get an error for the size preconditions instead.
 pub fn hierarchical(
     placement: &Placement,
     node_graph: &WeightedGraph,

@@ -122,6 +122,11 @@ pub fn simulate_campaign(
             tot_waste_s += (restart / nprocs) * (since_ckpt + cfg.recovery_latency_s);
         }
     }
+    let reg = hcft_telemetry::Registry::global();
+    reg.counter("campaign.failures").add(tot_failures as u64);
+    reg.counter("campaign.catastrophic")
+        .add(tot_catastrophic as u64);
+    reg.counter("campaign.transient").add(tot_transient as u64);
     let trials = cfg.trials as f64;
     let waste_fraction = ckpt_fraction + tot_waste_s / trials / duration_s;
     CampaignOutcome {

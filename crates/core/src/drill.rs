@@ -18,14 +18,16 @@
 //! solver, the final field after recovery must equal an uninterrupted
 //! run **bit-for-bit** — asserted in the tests.
 
-use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
-use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer, RecoverError};
+use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer};
 use hcft_cluster::ClusteringScheme;
 use hcft_msglog::{HybridProtocol, SenderLog};
 use hcft_simmpi::datatype::{decode, encode};
+use hcft_telemetry::{EventKind, HcftError, Registry};
 use hcft_topology::{NodeId, Placement, Rank};
 use hcft_tsunami::{Dir, RankState, TsunamiParams};
 
@@ -68,16 +70,31 @@ pub struct LockstepDrill {
     ckpt_phase: u64,
     /// Epoch id of the last checkpoint.
     epoch: u64,
+    /// Per-rank payload size of the last coordinated checkpoint.
+    last_ckpt_bytes: Vec<u64>,
     cfg: DrillConfig,
+    telemetry: Arc<Registry>,
 }
 
 impl LockstepDrill {
-    /// Build the drill over `placement` with the given clustering scheme.
+    /// Build the drill over `placement` with the given clustering scheme,
+    /// reporting telemetry to the process-global registry.
     pub fn new(
         placement: Placement,
         scheme: ClusteringScheme,
         cfg: DrillConfig,
-    ) -> io::Result<Self> {
+    ) -> Result<Self, HcftError> {
+        Self::with_telemetry(placement, scheme, cfg, Registry::global().clone())
+    }
+
+    /// Build the drill with a dedicated telemetry registry (scoped
+    /// measurement: one drill, one journal, no cross-test noise).
+    pub fn with_telemetry(
+        placement: Placement,
+        scheme: ClusteringScheme,
+        cfg: DrillConfig,
+        telemetry: Arc<Registry>,
+    ) -> Result<Self, HcftError> {
         let n = placement.nprocs();
         assert_eq!(scheme.l1.nprocs(), n, "scheme covers all ranks");
         let params = TsunamiParams::stable(cfg.grid.0, cfg.grid.1);
@@ -85,7 +102,12 @@ impl LockstepDrill {
             .map(|r| Some(RankState::new(&params, n, r)))
             .collect();
         let store = CheckpointStore::create(&cfg.store_root, placement.nodes())?;
-        let ckpt = MultilevelCheckpointer::new(store, scheme.l2.clone(), placement.clone());
+        let ckpt = MultilevelCheckpointer::with_telemetry(
+            store,
+            scheme.l2.clone(),
+            placement.clone(),
+            telemetry.clone(),
+        );
         let mut drill = LockstepDrill {
             protocol: HybridProtocol::new(scheme.l1.clone()),
             params,
@@ -93,16 +115,25 @@ impl LockstepDrill {
             scheme,
             ckpt,
             states,
-            logs: vec![SenderLog::new(); n],
+            logs: (0..n)
+                .map(|_| SenderLog::with_telemetry(&telemetry))
+                .collect(),
             phase: 0,
             ckpt_phase: 0,
             epoch: 0,
+            last_ckpt_bytes: vec![0; n],
             cfg,
+            telemetry,
         };
         // Like FTI, protect the initial state immediately: a failure
         // before the first periodic checkpoint must still be recoverable.
         drill.checkpoint()?;
         Ok(drill)
+    }
+
+    /// The registry this drill reports into.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Completed iterations.
@@ -127,6 +158,7 @@ impl LockstepDrill {
     /// # Panics
     /// Panics if any rank is dead (recover first).
     pub fn step(&mut self) {
+        let t0 = Instant::now();
         let n = self.states.len();
         assert!(
             self.states.iter().all(Option::is_some),
@@ -172,11 +204,17 @@ impl LockstepDrill {
             st.as_mut().expect("alive").update(&self.params);
         }
         self.phase += 1;
+        self.telemetry
+            .histogram("drill.step_ns")
+            .observe_duration(t0.elapsed());
+        self.telemetry
+            .counter("drill.log_memory_hwm")
+            .max(self.log_memory_bytes());
     }
 
     /// Run until `target` iterations, checkpointing on the configured
     /// cadence.
-    pub fn run_to(&mut self, target: u64) -> io::Result<()> {
+    pub fn run_to(&mut self, target: u64) -> Result<(), HcftError> {
         while self.phase < target {
             self.step();
             if self.cfg.checkpoint_every > 0 && self.phase.is_multiple_of(self.cfg.checkpoint_every)
@@ -188,12 +226,16 @@ impl LockstepDrill {
     }
 
     /// Take a coordinated multi-level (encoded) checkpoint now.
-    pub fn checkpoint(&mut self) -> io::Result<()> {
+    pub fn checkpoint(&mut self) -> Result<(), HcftError> {
+        let t0 = Instant::now();
         let payloads: Vec<Vec<u8>> = self
             .states
             .iter()
             .map(|s| s.as_ref().expect("alive").save_state())
             .collect();
+        for (r, p) in payloads.iter().enumerate() {
+            self.last_ckpt_bytes[r] = p.len() as u64;
+        }
         self.epoch += 1;
         self.ckpt
             .checkpoint(self.epoch, self.cfg.level, &payloads)?;
@@ -204,16 +246,39 @@ impl LockstepDrill {
         for log in &mut self.logs {
             log.truncate_before(self.ckpt_phase);
         }
+        self.telemetry
+            .histogram("drill.checkpoint_ns")
+            .observe_duration(t0.elapsed());
+        self.telemetry.event(
+            EventKind::CheckpointComplete,
+            self.phase,
+            format!("epoch={}", self.epoch),
+        );
         Ok(())
     }
 
     /// Kill a node: its ranks lose their in-memory state and its on-disk
     /// checkpoint data is destroyed.
-    pub fn inject_node_failure(&mut self, node: NodeId) -> io::Result<()> {
+    pub fn inject_node_failure(&mut self, node: NodeId) -> Result<(), HcftError> {
+        let mut lost = 0u64;
         for &r in self.placement.ranks_on(node) {
-            self.states[r.idx()] = None;
+            if self.states[r.idx()].take().is_some() {
+                lost += self.last_ckpt_bytes[r.idx()];
+            }
         }
-        self.ckpt.store().fail_node(node)
+        self.ckpt.store().fail_node(node)?;
+        self.telemetry
+            .counter("drill.lost_checkpoint_bytes")
+            .add(lost);
+        self.telemetry
+            .event(EventKind::NodeFailure, self.phase, format!("node={node}"));
+        let dead = self.dead_ranks();
+        self.telemetry.event(
+            EventKind::DeadRanks,
+            self.phase,
+            format!("count={} ranks={dead:?}", dead.len()),
+        );
+        Ok(())
     }
 
     /// Ranks currently dead.
@@ -227,13 +292,23 @@ impl LockstepDrill {
     /// Recover from all current failures: rebuild checkpoints (RS), roll
     /// back the affected L1 clusters, replay to the current phase with
     /// logged halos. Returns the restarted ranks.
-    pub fn recover(&mut self) -> Result<Vec<Rank>, RecoverError> {
+    pub fn recover(&mut self) -> Result<Vec<Rank>, HcftError> {
         let dead = self.dead_ranks();
         if dead.is_empty() {
             return Ok(Vec::new());
         }
         // 1. Rebuild the checkpoint data (this exercises Reed–Solomon).
+        let t0 = Instant::now();
         let payloads = self.ckpt.recover(self.epoch)?;
+        self.telemetry
+            .histogram("drill.rebuild_ns")
+            .observe_duration(t0.elapsed());
+        self.telemetry.event(
+            EventKind::RebuildComplete,
+            self.phase,
+            format!("epoch={}", self.epoch),
+        );
+        let t_replay = Instant::now();
         // 2. Roll back the affected L1 clusters.
         let restart = self.protocol.restart_set(&dead);
         let mut restarting = vec![false; self.states.len()];
@@ -291,6 +366,7 @@ impl LockstepDrill {
                             )
                         });
                     let vals = decode::<f64>(&entry.payload);
+                    self.telemetry.counter("msglog.replay_served").inc();
                     self.states[r.idx()]
                         .as_mut()
                         .expect("restored")
@@ -307,7 +383,27 @@ impl LockstepDrill {
                     .update(&self.params);
             }
         }
+        self.telemetry
+            .histogram("drill.replay_ns")
+            .observe_duration(t_replay.elapsed());
+        self.telemetry.event(
+            EventKind::ReplayComplete,
+            self.phase,
+            format!("from={} to={}", self.ckpt_phase, self.phase),
+        );
+        self.telemetry.event(
+            EventKind::RecoveryComplete,
+            self.phase,
+            format!("restarted={}", restart.len()),
+        );
         Ok(restart)
+    }
+
+    /// Journal a post-recovery consistency check (bit-identical field,
+    /// invariant re-established) as a [`EventKind::Verified`] event.
+    pub fn mark_verified(&self, detail: &str) {
+        self.telemetry
+            .event(EventKind::Verified, self.phase, detail.to_string());
     }
 
     /// Assemble the global η field (all ranks must be alive).

@@ -16,11 +16,11 @@
 use std::sync::Arc;
 
 use hcft_cluster::{
-    distributed, hierarchical, naive, size_guided, ClusteringScheme, Evaluator, FourDScore,
-    HierarchicalConfig,
+    registry_with, ClusteringScheme, Evaluator, FourDScore, HierarchicalConfig, StrategyContext,
 };
 use hcft_graph::{CommMatrix, WeightedGraph};
 use hcft_simmpi::{World, WorldConfig};
+use hcft_telemetry::HcftError;
 use hcft_topology::{JobLayout, Role};
 use hcft_tsunami::{TsunamiParams, TsunamiSim};
 
@@ -59,43 +59,34 @@ pub struct TracedJobConfig {
 }
 
 impl TracedJobConfig {
+    /// Start building a configuration for `nodes × app_per_node`
+    /// application ranks. Unset knobs default to the scaled-down test
+    /// shape (anisotropic quasi-1-D process grid, checkpoint every 25
+    /// iterations); [`TracedJobConfigBuilder::build`] validates the
+    /// combination instead of letting a bad grid panic mid-run.
+    pub fn builder(nodes: usize, app_per_node: usize) -> TracedJobConfigBuilder {
+        TracedJobConfigBuilder::new(nodes, app_per_node)
+    }
+
     /// The paper's §V configuration: 64 nodes × 16 app ranks + encoders,
     /// 100 iterations, checkpoints every 25 iterations.
     pub fn paper_1024() -> Self {
-        TracedJobConfig {
-            nodes: 64,
-            app_per_node: 16,
-            with_encoders: true,
-            iterations: 100,
-            checkpoint_every: 25,
-            grid: (1024, 4096),
-            process_grid: Some((512, 2)),
-            encoder_group_nodes: 4,
-            record_events: false,
-        }
+        Self::builder(64, 16)
+            .iterations(100)
+            .grid(1024, 4096)
+            .process_grid(512, 2)
+            .encoder_group_nodes(4)
+            .build()
+            .expect("paper preset is valid")
     }
 
     /// A scaled-down configuration for tests: `nodes × app_per_node`
     /// ranks with the same anisotropic (quasi-1-D) decomposition shape as
     /// the paper run.
     pub fn small(nodes: usize, app_per_node: usize) -> Self {
-        let nprocs = nodes * app_per_node;
-        let (px, py) = if nprocs >= 4 {
-            (nprocs / 2, 2)
-        } else {
-            (nprocs, 1)
-        };
-        TracedJobConfig {
-            nodes,
-            app_per_node,
-            with_encoders: true,
-            iterations: 50,
-            checkpoint_every: 25,
-            grid: ((2 * px).max(16), (256 * py).max(256)),
-            process_grid: Some((px, py)),
-            encoder_group_nodes: 4.min(nodes),
-            record_events: false,
-        }
+        Self::builder(nodes, app_per_node)
+            .build()
+            .expect("small preset is valid")
     }
 
     /// The process grid the solver will use.
@@ -118,6 +109,124 @@ impl TracedJobConfig {
         } else {
             JobLayout::app_only(self.nodes, self.app_per_node)
         }
+    }
+}
+
+/// Validating builder for [`TracedJobConfig`].
+#[derive(Clone, Debug)]
+pub struct TracedJobConfigBuilder {
+    cfg: TracedJobConfig,
+    explicit_grid: bool,
+}
+
+impl TracedJobConfigBuilder {
+    fn new(nodes: usize, app_per_node: usize) -> Self {
+        let nprocs = nodes * app_per_node;
+        let (px, py) = if nprocs >= 4 {
+            (nprocs / 2, 2)
+        } else {
+            (nprocs.max(1), 1)
+        };
+        TracedJobConfigBuilder {
+            cfg: TracedJobConfig {
+                nodes,
+                app_per_node,
+                with_encoders: true,
+                iterations: 50,
+                checkpoint_every: 25,
+                grid: ((2 * px).max(16), (256 * py).max(256)),
+                process_grid: Some((px, py)),
+                encoder_group_nodes: 4.min(nodes.max(1)),
+                record_events: false,
+            },
+            explicit_grid: false,
+        }
+    }
+
+    /// Dedicate one encoder rank per node (FTI layout)?
+    pub fn with_encoders(mut self, yes: bool) -> Self {
+        self.cfg.with_encoders = yes;
+        self
+    }
+
+    /// Solver iterations.
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.cfg.iterations = n;
+        self
+    }
+
+    /// Checkpoint cadence in iterations (0: never).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.cfg.checkpoint_every = n;
+        self
+    }
+
+    /// Global solver grid.
+    pub fn grid(mut self, nx: usize, ny: usize) -> Self {
+        self.cfg.grid = (nx, ny);
+        self.explicit_grid = true;
+        self
+    }
+
+    /// Explicit (px, py) process grid; must tile exactly
+    /// `nodes × app_per_node` ranks.
+    pub fn process_grid(mut self, px: usize, py: usize) -> Self {
+        self.cfg.process_grid = Some((px, py));
+        if !self.explicit_grid {
+            self.cfg.grid = ((2 * px).max(16), (256 * py).max(256));
+        }
+        self
+    }
+
+    /// Let the runner pick a near-square process grid.
+    pub fn auto_process_grid(mut self) -> Self {
+        self.cfg.process_grid = None;
+        self
+    }
+
+    /// Encoding group width in nodes (paper: 4).
+    pub fn encoder_group_nodes(mut self, n: usize) -> Self {
+        self.cfg.encoder_group_nodes = n;
+        self
+    }
+
+    /// Keep the ordered per-sender event log.
+    pub fn record_events(mut self, yes: bool) -> Self {
+        self.cfg.record_events = yes;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<TracedJobConfig, HcftError> {
+        let c = &self.cfg;
+        if c.nodes == 0 || c.app_per_node == 0 {
+            return Err(HcftError::Config(format!(
+                "job needs at least one node and one rank per node \
+                 (got {} nodes x {})",
+                c.nodes, c.app_per_node
+            )));
+        }
+        let nprocs = c.nodes * c.app_per_node;
+        let (px, py) = c.process_grid();
+        if px * py != nprocs {
+            return Err(HcftError::Config(format!(
+                "process grid {px}x{py} does not tile {nprocs} ranks"
+            )));
+        }
+        if c.grid.0 < px || c.grid.1 < py {
+            return Err(HcftError::Config(format!(
+                "solver grid {}x{} smaller than process grid {px}x{py}",
+                c.grid.0, c.grid.1
+            )));
+        }
+        if c.encoder_group_nodes == 0 || c.encoder_group_nodes > c.nodes {
+            return Err(HcftError::Config(format!(
+                "encoder group of {} nodes needs 1..={} \
+                 (one encoder slot per node)",
+                c.encoder_group_nodes, c.nodes
+            )));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -309,7 +418,8 @@ pub fn evaluate_paper_schemes(trace: &TraceResult) -> EvaluatedSchemes {
     evaluate_schemes(trace, 32, 8, 16, &HierarchicalConfig::default())
 }
 
-/// Build and score the paper schemes with explicit sizes.
+/// Build and score the paper schemes with explicit sizes, iterating the
+/// [`hcft_cluster::ClusteringStrategy`] registry.
 pub fn evaluate_schemes(
     trace: &TraceResult,
     naive_size: usize,
@@ -318,15 +428,24 @@ pub fn evaluate_schemes(
     hier_cfg: &HierarchicalConfig,
 ) -> EvaluatedSchemes {
     let placement = trace.layout.app_placement();
-    let nprocs = placement.nprocs();
     let node_matrix = trace.app.aggregate_by_node(&placement);
     let node_graph = WeightedGraph::from_comm_matrix(&node_matrix);
-    let schemes = vec![
-        naive(nprocs, naive_size),
-        size_guided(nprocs, size_guided_size),
-        distributed(&placement, distributed_size),
-        hierarchical(&placement, &node_graph, hier_cfg),
-    ];
+    let ctx = StrategyContext {
+        placement: &placement,
+        node_graph: &node_graph,
+    };
+    let schemes: Vec<ClusteringScheme> = registry_with(
+        naive_size,
+        size_guided_size,
+        distributed_size,
+        hier_cfg.clone(),
+    )
+    .iter()
+    .map(|s| {
+        s.build(&ctx)
+            .unwrap_or_else(|e| panic!("strategy {} rejected this trace: {e}", s.name()))
+    })
+    .collect();
     let evaluator = Evaluator::new(trace.app.clone(), placement);
     let scores = schemes.iter().map(|s| evaluator.evaluate(s)).collect();
     EvaluatedSchemes { schemes, scores }
@@ -414,6 +533,59 @@ mod tests {
         // a single node failure roll back the whole machine.
         assert!(ds.restart_fraction > 0.9);
         assert!(ds.restart_fraction > 3.0 * hi.restart_fraction);
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn presets_round_trip_through_the_builder() {
+        let p = TracedJobConfig::paper_1024();
+        assert_eq!(p.nodes, 64);
+        assert_eq!(p.process_grid, Some((512, 2)));
+        assert_eq!(p.grid, (1024, 4096));
+        let s = TracedJobConfig::small(8, 4);
+        assert_eq!(s.process_grid, Some((16, 2)));
+        assert_eq!(s.encoder_group_nodes, 4);
+    }
+
+    #[test]
+    fn mismatched_process_grid_is_rejected() {
+        let err = TracedJobConfig::builder(8, 4)
+            .process_grid(7, 3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HcftError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn solver_grid_must_cover_the_process_grid() {
+        let err = TracedJobConfig::builder(8, 4)
+            .grid(8, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HcftError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn encoder_group_must_fit_the_node_count() {
+        let err = TracedJobConfig::builder(4, 2)
+            .encoder_group_nodes(9)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HcftError::Config(_)), "{err}");
+        assert!(TracedJobConfig::builder(4, 2)
+            .encoder_group_nodes(4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_sized_jobs_are_rejected() {
+        assert!(TracedJobConfig::builder(0, 4).build().is_err());
+        assert!(TracedJobConfig::builder(4, 0).build().is_err());
     }
 }
 

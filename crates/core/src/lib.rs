@@ -24,4 +24,7 @@ pub mod experiment;
 
 pub use campaign::{simulate_campaign, CampaignConfig, CampaignOutcome};
 pub use drill::{DrillConfig, LockstepDrill};
-pub use experiment::{run_traced_job, EvaluatedSchemes, TraceResult, TracedJobConfig};
+pub use experiment::{
+    run_traced_job, EvaluatedSchemes, TraceResult, TracedJobConfig, TracedJobConfigBuilder,
+};
+pub use hcft_telemetry::{Event, EventKind, HcftError, Registry, Snapshot};

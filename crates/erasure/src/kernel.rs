@@ -132,6 +132,22 @@ impl Kernel {
     }
 }
 
+/// Count one erasure operation dispatched through the active kernel in
+/// the global telemetry registry (`erasure.dispatch.<kernel>`).
+///
+/// Called once per public encode/verify/reconstruct operation — not per
+/// `mul_acc` — so the relaxed-atomic increment is invisible next to the
+/// table work. The counter handle is resolved once and cached.
+pub(crate) fn count_dispatch() {
+    static HANDLE: OnceLock<std::sync::Arc<hcft_telemetry::Counter>> = OnceLock::new();
+    HANDLE
+        .get_or_init(|| {
+            hcft_telemetry::Registry::global()
+                .counter(&format!("erasure.dispatch.{}", active().name()))
+        })
+        .inc();
+}
+
 /// The best kernel for this process: `HCFT_GF_KERNEL` override if set
 /// and available, else the most capable detected variant. Resolved once.
 pub fn active() -> Kernel {

@@ -17,12 +17,28 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rayon::prelude::*;
 
 use crate::gf256;
 use crate::matrix::GfMatrix;
+
+/// Process-wide mirrors of the per-code decode-cache counters, so the
+/// telemetry registry sees aggregate cache behaviour without walking
+/// every live `ReedSolomon` instance (`erasure.decode_cache.{hits,misses}`).
+fn global_cache_counters() -> &'static (Arc<hcft_telemetry::Counter>, Arc<hcft_telemetry::Counter>)
+{
+    static HANDLES: OnceLock<(Arc<hcft_telemetry::Counter>, Arc<hcft_telemetry::Counter>)> =
+        OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = hcft_telemetry::Registry::global();
+        (
+            reg.counter("erasure.decode_cache.hits"),
+            reg.counter("erasure.decode_cache.misses"),
+        )
+    })
+}
 
 /// Errors from reconstruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -209,6 +225,7 @@ impl ReedSolomon {
     /// Panics when `data` is not `k` equal-length shards or `parity` is
     /// not `m` buffers of the same length.
     pub fn encode_into(&self, data: &[&[u8]], parity: Vec<&mut [u8]>) {
+        crate::kernel::count_dispatch();
         assert_eq!(data.len(), self.k, "expected {} data shards", self.k);
         let len = data[0].len();
         assert!(
@@ -233,6 +250,7 @@ impl ReedSolomon {
     /// Runs chunk-wise over a fixed stack buffer — no heap allocation —
     /// and returns at the first mismatching chunk.
     pub fn verify(&self, shards: &[&[u8]]) -> bool {
+        crate::kernel::count_dispatch();
         if shards.len() != self.total_shards() {
             return false;
         }
@@ -268,10 +286,12 @@ impl ReedSolomon {
             let map = self.decode_cache.map.lock().expect("cache lock");
             if let Some(m) = map.get(&key) {
                 self.decode_cache.hits.fetch_add(1, Ordering::Relaxed);
+                global_cache_counters().0.inc();
                 return Arc::clone(m);
             }
         }
         self.decode_cache.misses.fetch_add(1, Ordering::Relaxed);
+        global_cache_counters().1.inc();
         let inv = self
             .gen
             .select_rows(use_rows)
@@ -297,6 +317,7 @@ impl ReedSolomon {
     /// Rebuild all missing shards in place. `shards[i]` is `Some(bytes)`
     /// if shard `i` survives (`i < k`: data, `i >= k`: parity).
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        crate::kernel::count_dispatch();
         if shards.len() != self.total_shards() {
             return Err(RsError::WrongShardCount);
         }

@@ -31,6 +31,7 @@ impl XorCode {
     /// # Panics
     /// Panics on shard-count or length mismatch.
     pub fn encode(&self, data: &[&[u8]]) -> Vec<u8> {
+        crate::kernel::count_dispatch();
         assert_eq!(data.len(), self.k, "expected {} shards", self.k);
         let len = data[0].len();
         assert!(data.iter().all(|d| d.len() == len), "unequal shard sizes");
@@ -44,6 +45,7 @@ impl XorCode {
     /// Rebuild the single missing shard in `shards` (k data + 1 parity).
     /// Returns `Err(missing_count)` when more than one shard is absent.
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), usize> {
+        crate::kernel::count_dispatch();
         assert_eq!(shards.len(), self.k + 1, "expected k+1 shards");
         let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
         match missing.len() {

@@ -8,7 +8,33 @@
 //! not a copy — the log can be large (that is the whole §II-B2 concern)
 //! and must be cheap to read back.
 
+use std::sync::{Arc, OnceLock};
+
 use bytes::Bytes;
+use hcft_telemetry::{Counter, Registry};
+
+/// Cached handles into a registry for the hot `record` path: resolved
+/// once per log (or once per process for the global default), bumped
+/// with relaxed atomics per logged message.
+#[derive(Clone, Debug)]
+struct LogCounters {
+    logged_bytes: Arc<Counter>,
+    logged_msgs: Arc<Counter>,
+}
+
+impl LogCounters {
+    fn in_registry(reg: &Registry) -> Self {
+        LogCounters {
+            logged_bytes: reg.counter("msglog.logged_bytes"),
+            logged_msgs: reg.counter("msglog.logged_msgs"),
+        }
+    }
+
+    fn global() -> &'static Self {
+        static GLOBAL: OnceLock<LogCounters> = OnceLock::new();
+        GLOBAL.get_or_init(|| Self::in_registry(Registry::global()))
+    }
+}
 
 /// One logged message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,16 +54,34 @@ pub struct LogEntry {
 pub struct SenderLog {
     entries: Vec<LogEntry>,
     bytes: u64,
+    /// `None` reports to the process-global registry.
+    telemetry: Option<LogCounters>,
 }
 
 impl SenderLog {
-    /// An empty log.
+    /// An empty log reporting `msglog.logged_{bytes,msgs}` to the
+    /// process-global registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty log reporting to a dedicated registry (scoped
+    /// measurements: one drill, one test).
+    pub fn with_telemetry(reg: &Registry) -> Self {
+        SenderLog {
+            telemetry: Some(LogCounters::in_registry(reg)),
+            ..Self::default()
+        }
+    }
+
     /// Retain one outgoing message.
     pub fn record(&mut self, dst: u32, tag: u32, phase: u64, payload: Bytes) {
+        let counters = self
+            .telemetry
+            .as_ref()
+            .unwrap_or_else(|| LogCounters::global());
+        counters.logged_bytes.add(payload.len() as u64);
+        counters.logged_msgs.inc();
         self.bytes += payload.len() as u64;
         self.entries.push(LogEntry {
             dst,

@@ -11,6 +11,21 @@
 use crate::comm::Comm;
 use crate::datatype::{decode, encode, Datum};
 
+/// Tally one collective invocation in the global telemetry registry:
+/// `simmpi.<op>.calls` and `simmpi.<op>.bytes` (the caller's contributed
+/// payload, not the algorithm's internal traffic — the trace matrices
+/// already capture wire bytes).
+fn tally(op: &str, bytes: u64) {
+    let reg = hcft_telemetry::Registry::global();
+    reg.counter(&format!("simmpi.{op}.calls")).inc();
+    reg.counter(&format!("simmpi.{op}.bytes")).add(bytes);
+}
+
+/// Contributed payload size of a typed slice.
+fn payload_bytes<T: Datum>(xs: &[T]) -> u64 {
+    (xs.len() * T::WIDTH) as u64
+}
+
 // Reserved tag blocks (above MAX_USER_TAG).
 const TAG_BARRIER: u32 = 0xC100_0000;
 const TAG_ALLGATHER: u32 = 0xC200_0000;
@@ -24,6 +39,7 @@ impl Comm {
     /// Dissemination barrier: ⌈log₂ n⌉ rounds, rank r signals r+2ᵏ and
     /// waits for r−2ᵏ.
     pub fn barrier(&self) {
+        tally("barrier", 0);
         let n = self.size();
         let mut k = 0u32;
         let mut dist = 1usize;
@@ -42,6 +58,7 @@ impl Comm {
     /// doubling when `size` is a power of two, Bruck's algorithm
     /// otherwise — the MPICH2 short-message strategy.
     pub fn allgather<T: Datum>(&self, mine: &[T]) -> Vec<T> {
+        tally("allgather", payload_bytes(mine));
         let n = self.size();
         if n == 1 {
             return mine.to_vec();
@@ -140,6 +157,7 @@ impl Comm {
     /// ablation benches; produces nearest-neighbour traffic instead of
     /// power-of-two diagonals.
     pub fn allgather_ring<T: Datum>(&self, mine: &[T]) -> Vec<T> {
+        tally("allgather_ring", payload_bytes(mine));
         let n = self.size();
         let rank = self.rank();
         let mut have: Vec<Option<Vec<u8>>> = vec![None; n];
@@ -168,6 +186,7 @@ impl Comm {
     where
         F: Fn(T, T) -> T,
     {
+        tally("allreduce", payload_bytes(mine));
         let n = self.size();
         let rank = self.rank();
         let mut acc = mine.to_vec();
@@ -238,6 +257,7 @@ impl Comm {
 
     /// Binomial-tree broadcast from `root`.
     pub fn bcast<T: Datum>(&self, root: usize, data: &mut Vec<T>) {
+        tally("bcast", payload_bytes(data));
         let n = self.size();
         if n == 1 {
             return;
@@ -266,6 +286,7 @@ impl Comm {
     /// Linear gather to `root`: returns `Some(concatenation)` at the root,
     /// `None` elsewhere.
     pub fn gather<T: Datum>(&self, root: usize, mine: &[T]) -> Option<Vec<T>> {
+        tally("gather", payload_bytes(mine));
         let n = self.size();
         if self.rank() == root {
             let mut out = Vec::with_capacity(n * mine.len());
@@ -289,6 +310,7 @@ impl Comm {
     where
         F: Fn(T, T) -> T,
     {
+        tally("reduce", payload_bytes(mine));
         let n = self.size();
         if self.rank() == root {
             let mut acc = mine.to_vec();
@@ -311,6 +333,7 @@ impl Comm {
     /// Pairwise all-to-all personalised exchange: `sends[d]` goes to rank
     /// `d`; returns the vector received from each rank.
     pub fn alltoall<T: Datum>(&self, sends: &[Vec<T>]) -> Vec<Vec<T>> {
+        tally("alltoall", sends.iter().map(|s| payload_bytes(s)).sum());
         let n = self.size();
         assert_eq!(sends.len(), n, "alltoall needs one buffer per rank");
         let rank = self.rank();
@@ -356,6 +379,7 @@ impl Comm {
     /// result holds each rank's contribution separately, in rank order.
     /// Ring-based (the robust MPICH2 choice for irregular sizes).
     pub fn allgatherv<T: Datum>(&self, mine: &[T]) -> Vec<Vec<T>> {
+        tally("allgatherv", payload_bytes(mine));
         let n = self.size();
         let rank = self.rank();
         let mut have: Vec<Option<Vec<u8>>> = vec![None; n];
@@ -384,6 +408,7 @@ impl Comm {
     /// Panics if the root's data length is not divisible by the
     /// communicator size, or if a non-root passes data.
     pub fn scatter<T: Datum>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
+        tally("scatter", data.map(payload_bytes).unwrap_or(0));
         let n = self.size();
         if self.rank() == root {
             let data = data.expect("root provides data");
@@ -416,6 +441,7 @@ impl Comm {
     where
         F: Fn(T, T) -> T,
     {
+        tally("scan", payload_bytes(mine));
         let rank = self.rank();
         let mut acc = mine.to_vec();
         if rank > 0 {

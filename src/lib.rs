@@ -17,6 +17,7 @@
 //! | [`partition`] | multilevel k-way graph partitioner, CNM modularity clustering, the \[24\] cost function |
 //! | [`cluster`] | **the paper's contribution**: naïve / size-guided / distributed / hierarchical clustering + the 4-D evaluator and §III baseline |
 //! | [`reliability`] | failure-event distributions and the catastrophic-failure probability model of \[3\] |
+//! | [`telemetry`] | zero-dependency observability: counters, histograms, failure/recovery event journal, JSON export, [`HcftError`](telemetry::HcftError) |
 //! | [`core`] | the wired-together framework: §V traced experiment and the end-to-end failure drill |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use hcft_partition as partition;
 pub use hcft_reliability as reliability;
 pub use hcft_simmpi as simmpi;
 pub use hcft_simtime as simtime;
+pub use hcft_telemetry as telemetry;
 pub use hcft_topology as topology;
 pub use hcft_tsunami as tsunami;
 
@@ -57,7 +59,8 @@ pub mod prelude {
     pub use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer};
     pub use hcft_cluster::{
         autotune, distributed, hierarchical, naive, size_guided, BaselineRequirements,
-        ClusteringScheme, Evaluator, FourDScore, HierarchicalConfig,
+        ClusteringScheme, ClusteringStrategy, Evaluator, FourDScore, HierarchicalConfig,
+        StrategyContext,
     };
     pub use hcft_core::drill::{DrillConfig, LockstepDrill};
     pub use hcft_core::experiment::{run_traced_job, TraceResult, TracedJobConfig};
@@ -67,6 +70,7 @@ pub mod prelude {
     pub use hcft_partition::{MultilevelConfig, MultilevelPartitioner, SizeBounds};
     pub use hcft_reliability::{EventDistribution, FailureArrivals, ReliabilityModel};
     pub use hcft_simmpi::{Comm, World};
+    pub use hcft_telemetry::{EventKind, HcftError, Registry};
     pub use hcft_topology::{JobLayout, MachineSpec, NetworkTopology, NodeId, Placement, Rank};
     pub use hcft_tsunami::{TsunamiParams, TsunamiSim};
 }

@@ -2,7 +2,6 @@
 //! erasure coding, message logging, rollback and replay, under different
 //! clustering schemes and failure patterns.
 
-use hcft::checkpoint::RecoverError;
 use hcft::prelude::*;
 use hcft::tsunami::sequential::SequentialSim;
 
@@ -134,13 +133,75 @@ fn same_node_encoding_clusters_hit_the_catastrophic_path() {
     drill.run_to(6).expect("run");
     drill.inject_node_failure(NodeId(2)).expect("kill");
     match drill.recover() {
-        Err(RecoverError::Catastrophic {
-            missing, tolerance, ..
-        }) => {
-            assert!(missing > tolerance);
+        Err(HcftError::Erasure { needed, available }) => {
+            assert!(
+                available < needed,
+                "catastrophic means fewer surviving shards ({available}) \
+                 than the decoder needs ({needed})"
+            );
         }
         other => panic!("expected catastrophic failure, got {other:?}"),
     }
+}
+
+#[test]
+fn telemetry_journal_narrates_a_kill_rebuild_drill() {
+    // The observability cross-checks: one injected failure must produce
+    // exactly one node_failure and one recovery_complete event, the
+    // rebuilt checkpoint bytes must equal the bytes the dead node lost,
+    // and the decode-matrix cache must not miss more often than there
+    // are distinct erasure patterns.
+    let dir = TempDir::new();
+    let placement = Placement::block(16, 4);
+    let grid = (32, 32);
+    let reg = Registry::new();
+    let mut drill = LockstepDrill::with_telemetry(
+        placement,
+        hier_scheme(&Placement::block(16, 4)),
+        DrillConfig {
+            grid,
+            checkpoint_every: 5,
+            level: Level::Encoded,
+            store_root: dir.0.clone(),
+        },
+        reg.clone(),
+    )
+    .expect("drill");
+    drill.run_to(13).expect("run");
+    drill.inject_node_failure(NodeId(5)).expect("kill");
+    drill.recover().expect("recover");
+    assert_eq!(drill.global_eta(), reference(grid, 13));
+    drill.mark_verified("bit-identical to uninterrupted reference");
+
+    // Exactly one failure/recovery narrative, in causal order.
+    let journal = reg.journal();
+    let failures = journal.events_of(EventKind::NodeFailure);
+    let recoveries = journal.events_of(EventKind::RecoveryComplete);
+    assert_eq!(failures.len(), 1, "one injected failure");
+    assert_eq!(recoveries.len(), 1, "one completed recovery");
+    assert_eq!(journal.events_of(EventKind::DeadRanks).len(), 1);
+    assert_eq!(journal.events_of(EventKind::RebuildComplete).len(), 1);
+    assert_eq!(journal.events_of(EventKind::ReplayComplete).len(), 1);
+    assert_eq!(journal.events_of(EventKind::Verified).len(), 1);
+    assert!(failures[0].wall_ns <= recoveries[0].wall_ns);
+    assert_eq!(failures[0].virt, 13, "failure injected at phase 13");
+
+    // The rebuilt checkpoint payloads equal what the dead node lost.
+    let lost = reg.counter("drill.lost_checkpoint_bytes").get();
+    let rebuilt = reg.counter("checkpoint.rebuilt_payload_bytes").get();
+    assert!(lost > 0, "the dead node held checkpointed state");
+    assert_eq!(rebuilt, lost, "rebuilt bytes == lost checkpoint bytes");
+
+    // Decode matrices are cached per erasure pattern: one node failure
+    // is one pattern per L2 group, and every group in the failed L1
+    // cluster shares the same member-index pattern.
+    let misses = reg.counter("checkpoint.decode_cache.misses").get();
+    assert!(misses >= 1, "at least one decode matrix was built");
+    assert!(
+        misses <= 1,
+        "one erasure pattern must build at most one decode matrix \
+         per distinct (pattern, code) pair, got {misses} misses"
+    );
 }
 
 #[test]
