@@ -10,6 +10,7 @@ use hcft_msglog::HybridProtocol;
 use hcft_reliability::model::fti_tolerance;
 use hcft_reliability::{EventDistribution, ReliabilityModel};
 use hcft_topology::{MachineSpec, Placement};
+use rayon::prelude::*;
 
 use crate::harness::{fmt_prob, traced, Artifact, CsvFile, Scale};
 
@@ -44,11 +45,20 @@ pub fn fig3a(scale: Scale) -> Artifact {
         "FIG 3a — cluster size vs (message logging %, restart %) [naive clustering]\n\n\
          size     logged%   restart%\n",
     );
-    for size in power_of_two_sizes(n / 2, 1) {
-        let scheme = naive(n, size);
-        let protocol = HybridProtocol::new(scheme.l1.clone());
-        let logged = protocol.stats_from_matrix(&t.app).logged_fraction() * 100.0;
-        let restart = protocol.expected_restart_fraction(&placement) * 100.0;
+    // Each cluster size is an independent model evaluation: fan the
+    // sweep out and reassemble rows in size order (ordered collect), so
+    // the report and CSV match the serial sweep byte for byte.
+    let sweep: Vec<(usize, f64, f64)> = power_of_two_sizes(n / 2, 1)
+        .into_par_iter()
+        .map(|size| {
+            let scheme = naive(n, size);
+            let protocol = HybridProtocol::new(scheme.l1.clone());
+            let logged = protocol.stats_from_matrix(&t.app).logged_fraction() * 100.0;
+            let restart = protocol.expected_restart_fraction(&placement) * 100.0;
+            (size, logged, restart)
+        })
+        .collect();
+    for (size, logged, restart) in sweep {
         report.push_str(&format!("{size:<8} {logged:>7.2}   {restart:>7.2}\n"));
         rows.push(vec![
             size.to_string(),
@@ -198,11 +208,17 @@ pub fn fig4b(scale: Scale) -> Artifact {
         "FIG 4b — message logging %, distributed vs non-distributed\n\n\
          size     non-distributed%   distributed%\n",
     );
-    for size in power_of_two_sizes(placement.nodes(), 4) {
-        let nd = HybridProtocol::new(naive(n, size).l1);
-        let d = HybridProtocol::new(distributed(&placement, size).l1);
-        let l_nd = nd.stats_from_matrix(&t.app).logged_fraction() * 100.0;
-        let l_d = d.stats_from_matrix(&t.app).logged_fraction() * 100.0;
+    let sweep: Vec<(usize, f64, f64)> = power_of_two_sizes(placement.nodes(), 4)
+        .into_par_iter()
+        .map(|size| {
+            let nd = HybridProtocol::new(naive(n, size).l1);
+            let d = HybridProtocol::new(distributed(&placement, size).l1);
+            let l_nd = nd.stats_from_matrix(&t.app).logged_fraction() * 100.0;
+            let l_d = d.stats_from_matrix(&t.app).logged_fraction() * 100.0;
+            (size, l_nd, l_d)
+        })
+        .collect();
+    for (size, l_nd, l_d) in sweep {
         report.push_str(&format!("{size:<8} {l_nd:>15.2}   {l_d:>11.2}\n"));
         rows.push(vec![
             size.to_string(),
@@ -237,11 +253,17 @@ pub fn fig4c() -> Artifact {
         "FIG 4c — restart cost %, 64 nodes x 16 ranks\n\n\
          size     non-distributed%   distributed%\n",
     );
-    for size in power_of_two_sizes(nodes, 2) {
-        let nd = HybridProtocol::new(naive(n, size).l1);
-        let d = HybridProtocol::new(distributed(&placement, size).l1);
-        let r_nd = nd.expected_restart_fraction(&placement) * 100.0;
-        let r_d = d.expected_restart_fraction(&placement) * 100.0;
+    let sweep: Vec<(usize, f64, f64)> = power_of_two_sizes(nodes, 2)
+        .into_par_iter()
+        .map(|size| {
+            let nd = HybridProtocol::new(naive(n, size).l1);
+            let d = HybridProtocol::new(distributed(&placement, size).l1);
+            let r_nd = nd.expected_restart_fraction(&placement) * 100.0;
+            let r_d = d.expected_restart_fraction(&placement) * 100.0;
+            (size, r_nd, r_d)
+        })
+        .collect();
+    for (size, r_nd, r_d) in sweep {
         report.push_str(&format!("{size:<8} {r_nd:>15.2}   {r_d:>11.2}\n"));
         rows.push(vec![
             size.to_string(),
@@ -464,28 +486,43 @@ pub fn scaling(scale: Scale) -> Artifact {
         "SCALING — hierarchical clustering from small to full size\n\n\
          ranks    logged%   restart%  enc.(1GB)  P(cat)\n",
     );
+    let mut sizes = Vec::new();
     let mut nodes = 4;
     while nodes <= full_nodes {
-        let mut job = scale.job();
-        job.nodes = nodes;
-        // Keep the quasi-1-D decomposition shape at every size.
-        let nprocs = nodes * ppn;
-        let (px, py) = (nprocs / 2, 2);
-        job.process_grid = Some((px, py));
-        // Keep the per-rank tile shape of the full-scale run (2×2048) so
-        // the logging fractions are comparable across sizes.
-        job.grid = ((2 * px).max(16), 2048 * py);
-        let t = hcft_core::experiment::run_traced_job(&job);
-        let placement = t.layout.app_placement();
-        let node_graph = WeightedGraph::from_comm_matrix(&t.app.aggregate_by_node(&placement));
-        let cfg = HierarchicalConfig {
-            min_nodes_per_l1: 4,
-            max_nodes_per_l1: 4,
-            l2_group_nodes: 4,
-            ..Default::default()
-        };
-        let scheme = hierarchical(&placement, &node_graph, &cfg);
-        let s = Evaluator::new(t.app.clone(), placement).evaluate(&scheme);
+        sizes.push(nodes);
+        nodes *= 2;
+    }
+    // Every point re-runs the traced job at its own size — by far the
+    // most expensive sweep in the pipeline. The simmpi worlds are fully
+    // independent, so the sizes run concurrently; the ordered collect
+    // keeps the report rows in ascending-size order.
+    let sweep: Vec<(usize, _)> = sizes
+        .into_par_iter()
+        .map(|nodes| {
+            let mut job = scale.job();
+            job.nodes = nodes;
+            // Keep the quasi-1-D decomposition shape at every size.
+            let nprocs = nodes * ppn;
+            let (px, py) = (nprocs / 2, 2);
+            job.process_grid = Some((px, py));
+            // Keep the per-rank tile shape of the full-scale run (2×2048)
+            // so the logging fractions are comparable across sizes.
+            job.grid = ((2 * px).max(16), 2048 * py);
+            let t = hcft_core::experiment::run_traced_job(&job);
+            let placement = t.layout.app_placement();
+            let node_graph = WeightedGraph::from_comm_matrix(&t.app.aggregate_by_node(&placement));
+            let cfg = HierarchicalConfig {
+                min_nodes_per_l1: 4,
+                max_nodes_per_l1: 4,
+                l2_group_nodes: 4,
+                ..Default::default()
+            };
+            let scheme = hierarchical(&placement, &node_graph, &cfg);
+            let s = Evaluator::new(t.app.clone(), placement).evaluate(&scheme);
+            (nodes, s)
+        })
+        .collect();
+    for (nodes, s) in sweep {
         report.push_str(&format!(
             "{:<8} {:>7.2}   {:>7.2}  {:>7.0} s  {}\n",
             nodes * ppn,
@@ -501,7 +538,6 @@ pub fn scaling(scale: Scale) -> Artifact {
             format!("{:.1}", s.encode_s_per_gb),
             format!("{:e}", s.p_catastrophic),
         ]);
-        nodes *= 2;
     }
     report.push_str("\nRestart fraction shrinks with scale (fixed 4-node L1 clusters).\n");
     Artifact {
@@ -643,8 +679,49 @@ pub fn ablation(scale: Scale) -> Artifact {
         "ABLATION (extension) — hierarchical design choices\n\n\
          variant                        logged%  restart%  enc(1GB)   P(cat)\n",
     );
-    let mut emit = |label: String, cfg: &HierarchicalConfig| {
-        let s = evaluator.evaluate(&hierarchical(&placement, &node_graph, cfg));
+    let mut variants: Vec<(String, HierarchicalConfig)> = Vec::new();
+    for l1 in [4usize, 8, 16] {
+        if l1 > placement.nodes() / 2 {
+            continue;
+        }
+        variants.push((
+            format!("L1 = {l1} nodes (multilevel)"),
+            HierarchicalConfig {
+                min_nodes_per_l1: l1,
+                max_nodes_per_l1: l1,
+                l2_group_nodes: 4,
+                engine: PartitionEngine::Multilevel,
+            },
+        ));
+    }
+    variants.push((
+        "L1 = 4..8 nodes (modularity)".to_string(),
+        HierarchicalConfig {
+            min_nodes_per_l1: 4,
+            max_nodes_per_l1: 8,
+            l2_group_nodes: 4,
+            engine: PartitionEngine::Modularity,
+        },
+    ));
+    variants.push((
+        "L2 groups of 8 nodes".to_string(),
+        HierarchicalConfig {
+            min_nodes_per_l1: 8,
+            max_nodes_per_l1: 8,
+            l2_group_nodes: 8,
+            engine: PartitionEngine::Multilevel,
+        },
+    ));
+    // Each variant partitions and scores independently; the ordered
+    // collect keeps the table in declaration order.
+    let scored: Vec<(String, _)> = variants
+        .into_par_iter()
+        .map(|(label, cfg)| {
+            let s = evaluator.evaluate(&hierarchical(&placement, &node_graph, &cfg));
+            (label, s)
+        })
+        .collect();
+    for (label, s) in scored {
         report.push_str(&format!(
             "{label:<30} {:>7.2}  {:>7.2}  {:>7.0} s  {:>9.2e}\n",
             s.logging_fraction * 100.0,
@@ -659,39 +736,7 @@ pub fn ablation(scale: Scale) -> Artifact {
             format!("{:.1}", s.encode_s_per_gb),
             format!("{:e}", s.p_catastrophic),
         ]);
-    };
-    for l1 in [4usize, 8, 16] {
-        if l1 > placement.nodes() / 2 {
-            continue;
-        }
-        emit(
-            format!("L1 = {l1} nodes (multilevel)"),
-            &HierarchicalConfig {
-                min_nodes_per_l1: l1,
-                max_nodes_per_l1: l1,
-                l2_group_nodes: 4,
-                engine: PartitionEngine::Multilevel,
-            },
-        );
     }
-    emit(
-        "L1 = 4..8 nodes (modularity)".to_string(),
-        &HierarchicalConfig {
-            min_nodes_per_l1: 4,
-            max_nodes_per_l1: 8,
-            l2_group_nodes: 4,
-            engine: PartitionEngine::Modularity,
-        },
-    );
-    emit(
-        "L2 groups of 8 nodes".to_string(),
-        &HierarchicalConfig {
-            min_nodes_per_l1: 8,
-            max_nodes_per_l1: 8,
-            l2_group_nodes: 8,
-            engine: PartitionEngine::Multilevel,
-        },
-    );
     report.push_str(
         "\nWider L1 trades restart cost for logging; wider L2 trades encoding time\n\
          for (already ample) reliability — the paper's 4/4 choice is the knee.\n",

@@ -42,6 +42,7 @@ impl Scale {
                 process_grid: Some((64, 2)),
                 encoder_group_nodes: 4,
                 record_events: false,
+                mailbox_shards: 0,
             },
         }
     }

@@ -1,0 +1,61 @@
+//! The parallel sweep engine must not change results: `repro` run with
+//! one worker thread and with several must emit byte-identical CSVs.
+//!
+//! The compat rayon pool latches `RAYON_NUM_THREADS` once per process,
+//! so the serial and parallel configurations have to be separate
+//! processes — each test spawns the real `repro` binary (Cargo exports
+//! its path as `CARGO_BIN_EXE_repro`) twice into separate output
+//! directories and compares the artifacts byte for byte.
+//!
+//! `fig3a` covers the par-mapped figure sweeps; `campaign` covers the
+//! parallel Monte-Carlo trial fan-out (per-trial RNG streams folded in
+//! a fixed order). Small scale keeps each run to a few seconds.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_repro(out_dir: &Path, threads: &str, artifacts: &[&str]) {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let status = Command::new(exe)
+        .args(["--scale", "small", "--out"])
+        .arg(out_dir)
+        .args(artifacts)
+        .env("RAYON_NUM_THREADS", threads)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro failed with {threads} thread(s)");
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    let p = dir.join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn temp_dir(label: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hcft-determinism-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn serial_and_parallel_csvs_are_byte_identical() {
+    let serial_dir = temp_dir("serial");
+    let parallel_dir = temp_dir("parallel");
+    let artifacts = ["fig3a", "campaign"];
+    run_repro(&serial_dir, "1", &artifacts);
+    run_repro(&parallel_dir, "4", &artifacts);
+    for name in [
+        "fig3a_size_vs_logging_restart.csv",
+        "ext_campaign_availability.csv",
+    ] {
+        let serial = read(&serial_dir, name);
+        let parallel = read(&parallel_dir, name);
+        assert!(!serial.is_empty(), "{name} came out empty");
+        assert_eq!(
+            serial, parallel,
+            "{name} differs between RAYON_NUM_THREADS=1 and =4"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&parallel_dir);
+}

@@ -53,7 +53,7 @@ type RebuiltPayload = (usize, Vec<u8>);
 /// FTI-style multi-level checkpointer over an encoding clustering.
 pub struct MultilevelCheckpointer {
     store: CheckpointStore,
-    groups: Clustering,
+    groups: Arc<Clustering>,
     placement: Placement,
     /// RS codes by group size. Reusing a code across epochs keeps its
     /// decode-matrix cache warm, so repeated recoveries of the same
@@ -74,7 +74,11 @@ impl MultilevelCheckpointer {
     ///
     /// # Panics
     /// Panics if the clustering and placement disagree on the rank count.
-    pub fn new(store: CheckpointStore, groups: Clustering, placement: Placement) -> Self {
+    pub fn new(
+        store: CheckpointStore,
+        groups: impl Into<Arc<Clustering>>,
+        placement: Placement,
+    ) -> Self {
         Self::with_telemetry(store, groups, placement, Registry::global().clone())
     }
 
@@ -85,10 +89,11 @@ impl MultilevelCheckpointer {
     /// Panics if the clustering and placement disagree on the rank count.
     pub fn with_telemetry(
         store: CheckpointStore,
-        groups: Clustering,
+        groups: impl Into<Arc<Clustering>>,
         placement: Placement,
         telemetry: Arc<Registry>,
     ) -> Self {
+        let groups = groups.into();
         assert_eq!(
             groups.nprocs(),
             placement.nprocs(),

@@ -1,5 +1,7 @@
 //! The four clustering strategies of §III–§IV.
 
+use std::sync::Arc;
+
 use hcft_graph::{Clustering, WeightedGraph};
 use hcft_partition::{modularity_clusters, MultilevelConfig, MultilevelPartitioner, SizeBounds};
 use hcft_topology::{NodeId, Placement, Rank};
@@ -9,21 +11,25 @@ use hcft_topology::{NodeId, Placement, Rank};
 /// time and reliability. Flat schemes use the same clusters for both —
 /// §III explains why the two *must* checkpoint together, which is what
 /// forces the shared clustering and the 4-D trade-off.
+/// Both levels are shared via [`Arc`]: schemes are cloned freely by the
+/// sweep engine and the protocol/checkpointer layers, and a partition of
+/// a thousand ranks must not be deep-copied per clone.
 #[derive(Clone, Debug)]
 pub struct ClusteringScheme {
     /// Human-readable name (Table II row label).
     pub name: String,
     /// Failure-containment clusters.
-    pub l1: Clustering,
+    pub l1: Arc<Clustering>,
     /// Erasure-encoding clusters.
-    pub l2: Clustering,
+    pub l2: Arc<Clustering>,
 }
 
 impl ClusteringScheme {
     fn flat(name: impl Into<String>, c: Clustering) -> Self {
+        let c = Arc::new(c);
         ClusteringScheme {
             name: name.into(),
-            l1: c.clone(),
+            l1: Arc::clone(&c),
             l2: c,
         }
     }
@@ -221,8 +227,8 @@ pub fn hierarchical(
     let l2 = Clustering::from_members(placement.nprocs(), l2_members);
     ClusteringScheme {
         name: format!("hierarchical ({}-{} pr.)", l1.max_size(), l2.max_size()),
-        l1,
-        l2,
+        l1: Arc::new(l1),
+        l2: Arc::new(l2),
     }
 }
 

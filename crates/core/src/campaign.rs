@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::Rng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Campaign parameters.
 #[derive(Clone, Debug)]
@@ -79,48 +80,27 @@ pub fn simulate_campaign(
     cfg: &CampaignConfig,
 ) -> CampaignOutcome {
     let protocol = HybridProtocol::new(scheme.l1.clone());
-    let nprocs = placement.nprocs() as f64;
-    let nodes = placement.nodes();
     let duration_s = cfg.duration_h * 3600.0;
     // Steady checkpoint overhead as a machine-time fraction.
     let ckpt_fraction = cfg.checkpoint_cost_s / cfg.checkpoint_interval_s;
+    // Trials are independent and each reseeds its own RNG, so they fan
+    // out across threads. Partials are collected in trial order and
+    // folded sequentially below, which makes the totals bit-identical
+    // regardless of thread count (floating-point addition order is
+    // fixed by the fold, not by execution order).
+    let partials: Vec<TrialTotals> = (0..cfg.trials)
+        .into_par_iter()
+        .map(|trial| run_trial(trial as u64, scheme, &protocol, placement, cfg))
+        .collect();
     let mut tot_failures = 0.0;
     let mut tot_catastrophic = 0.0;
     let mut tot_transient = 0.0;
     let mut tot_waste_s = 0.0;
-    for trial in 0..cfg.trials {
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(trial as u64));
-        let times = cfg.arrivals.sample_times(cfg.duration_h, &mut rng);
-        for t_h in times {
-            tot_failures += 1.0;
-            let class = draw_class(&cfg.events, &mut rng);
-            let Some(j) = class else {
-                tot_transient += 1.0;
-                // Absorbed by the local (L1) checkpoint: bill only the
-                // restart latency of the affected node's ranks.
-                tot_waste_s += cfg.recovery_latency_s / nodes as f64;
-                continue;
-            };
-            let j = j.min(nodes);
-            let failed_nodes: Vec<NodeId> = sample(&mut rng, nodes, j)
-                .into_iter()
-                .map(NodeId::from)
-                .collect();
-            if is_catastrophic(scheme, placement, &failed_nodes) {
-                tot_catastrophic += 1.0;
-                tot_waste_s += cfg.catastrophic_penalty_s;
-                continue;
-            }
-            // Contained recovery: the affected L1 clusters redo the work
-            // since their last checkpoint.
-            let failed_ranks: Vec<Rank> = failed_nodes
-                .iter()
-                .flat_map(|&n| placement.ranks_on(n).iter().copied())
-                .collect();
-            let restart = protocol.restart_set(&failed_ranks).len() as f64;
-            let since_ckpt = (t_h * 3600.0) % cfg.checkpoint_interval_s;
-            tot_waste_s += (restart / nprocs) * (since_ckpt + cfg.recovery_latency_s);
-        }
+    for p in &partials {
+        tot_failures += p.failures;
+        tot_catastrophic += p.catastrophic;
+        tot_transient += p.transient;
+        tot_waste_s += p.waste_s;
     }
     let reg = hcft_telemetry::Registry::global();
     reg.counter("campaign.failures").add(tot_failures as u64);
@@ -135,6 +115,62 @@ pub fn simulate_campaign(
         transient: tot_transient / trials,
         availability: (1.0 - waste_fraction).max(0.0),
     }
+}
+
+/// Per-trial accumulator, combined in trial order after the fan-out.
+#[derive(Clone, Copy, Debug, Default)]
+struct TrialTotals {
+    failures: f64,
+    catastrophic: f64,
+    transient: f64,
+    waste_s: f64,
+}
+
+/// One Monte-Carlo trial, seeded by trial index so execution order is
+/// irrelevant to the outcome.
+fn run_trial(
+    trial: u64,
+    scheme: &ClusteringScheme,
+    protocol: &HybridProtocol,
+    placement: &Placement,
+    cfg: &CampaignConfig,
+) -> TrialTotals {
+    let nprocs = placement.nprocs() as f64;
+    let nodes = placement.nodes();
+    let mut acc = TrialTotals::default();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(trial));
+    let times = cfg.arrivals.sample_times(cfg.duration_h, &mut rng);
+    for t_h in times {
+        acc.failures += 1.0;
+        let class = draw_class(&cfg.events, &mut rng);
+        let Some(j) = class else {
+            acc.transient += 1.0;
+            // Absorbed by the local (L1) checkpoint: bill only the
+            // restart latency of the affected node's ranks.
+            acc.waste_s += cfg.recovery_latency_s / nodes as f64;
+            continue;
+        };
+        let j = j.min(nodes);
+        let failed_nodes: Vec<NodeId> = sample(&mut rng, nodes, j)
+            .into_iter()
+            .map(NodeId::from)
+            .collect();
+        if is_catastrophic(scheme, placement, &failed_nodes) {
+            acc.catastrophic += 1.0;
+            acc.waste_s += cfg.catastrophic_penalty_s;
+            continue;
+        }
+        // Contained recovery: the affected L1 clusters redo the work
+        // since their last checkpoint.
+        let failed_ranks: Vec<Rank> = failed_nodes
+            .iter()
+            .flat_map(|&n| placement.ranks_on(n).iter().copied())
+            .collect();
+        let restart = protocol.restart_set(&failed_ranks).len() as f64;
+        let since_ckpt = (t_h * 3600.0) % cfg.checkpoint_interval_s;
+        acc.waste_s += (restart / nprocs) * (since_ckpt + cfg.recovery_latency_s);
+    }
+    acc
 }
 
 /// Draw an event class: `None` = transient, `Some(j)` = j-node loss.

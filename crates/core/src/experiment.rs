@@ -23,6 +23,7 @@ use hcft_simmpi::{World, WorldConfig};
 use hcft_telemetry::HcftError;
 use hcft_topology::{JobLayout, Role};
 use hcft_tsunami::{TsunamiParams, TsunamiSim};
+use rayon::prelude::*;
 
 /// Tag for application→encoder checkpoint pushes (world communicator).
 const TAG_CKPT_PUSH: u32 = 0x000C_0001;
@@ -56,6 +57,10 @@ pub struct TracedJobConfig {
     /// log-memory timeline and determinism analyses; costs memory per
     /// message).
     pub record_events: bool,
+    /// Mailbox shards per simulated rank (0 = runtime default). The
+    /// pipeline bench pins this to compare the sharded runtime against
+    /// the single-shard baseline within one process.
+    pub mailbox_shards: usize,
 }
 
 impl TracedJobConfig {
@@ -138,6 +143,7 @@ impl TracedJobConfigBuilder {
                 process_grid: Some((px, py)),
                 encoder_group_nodes: 4.min(nodes.max(1)),
                 record_events: false,
+                mailbox_shards: 0,
             },
             explicit_grid: false,
         }
@@ -193,6 +199,12 @@ impl TracedJobConfigBuilder {
     /// Keep the ordered per-sender event log.
     pub fn record_events(mut self, yes: bool) -> Self {
         self.cfg.record_events = yes;
+        self
+    }
+
+    /// Pin the runtime's mailbox shard count (0 = runtime default).
+    pub fn mailbox_shards(mut self, shards: usize) -> Self {
+        self.cfg.mailbox_shards = shards;
         self
     }
 
@@ -257,6 +269,7 @@ pub fn run_traced_job(cfg: &TracedJobConfig) -> TraceResult {
     let world_cfg = WorldConfig {
         recv_timeout: std::time::Duration::from_secs(300),
         trace_events: cfg.record_events,
+        mailbox_shards: cfg.mailbox_shards,
         ..WorldConfig::default()
     };
     let cfg2 = Arc::clone(&cfg);
@@ -447,7 +460,10 @@ pub fn evaluate_schemes(
     })
     .collect();
     let evaluator = Evaluator::new(trace.app.clone(), placement);
-    let scores = schemes.iter().map(|s| evaluator.evaluate(s)).collect();
+    // The four-dimension scoring (p_catastrophic in particular) dominates
+    // the sweep cost; schemes are independent, so score them in parallel.
+    // The ordered collect keeps scores in paper order.
+    let scores = schemes.par_iter().map(|s| evaluator.evaluate(s)).collect();
     EvaluatedSchemes { schemes, scores }
 }
 
@@ -506,6 +522,7 @@ mod tests {
             process_grid: None,
             encoder_group_nodes: 4,
             record_events: false,
+            mailbox_shards: 0,
         });
         let hier_cfg = HierarchicalConfig {
             min_nodes_per_l1: 4,

@@ -48,6 +48,20 @@ impl WeightedGraph {
         g
     }
 
+    /// Build directly from per-vertex adjacency rows. Each undirected
+    /// edge must appear in both endpoint rows with equal weight; no
+    /// duplicates within a row. Bulk path for the CSR bridge — skips the
+    /// per-edge symmetry probing of [`WeightedGraph::add_edge`].
+    pub(crate) fn from_adjacency(
+        adj: Vec<Vec<(u32, u64)>>,
+        vwgt: Vec<u64>,
+        selfw: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(adj.len(), vwgt.len());
+        debug_assert_eq!(adj.len(), selfw.len());
+        WeightedGraph { adj, vwgt, selfw }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {

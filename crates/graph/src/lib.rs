@@ -9,6 +9,10 @@
 //!   CSV/ASCII rendering;
 //! * [`WeightedGraph`] — the undirected weighted graph the partitioner
 //!   consumes;
+//! * [`CsrGraph`] — the same adjacency packed into sorted compressed
+//!   sparse rows: canonical iteration order, binary-search edge lookups
+//!   and bulk duplicate-aggregating construction for the partitioner's
+//!   inner loops;
 //! * [`Clustering`] — a validated partition of ranks into clusters, the
 //!   common currency between the clustering strategies, the evaluator, the
 //!   message-logging protocol and the checkpointing system;
@@ -17,11 +21,13 @@
 //!   clustering coefficient.
 
 pub mod clustering;
+pub mod csr;
 pub mod graph;
 pub mod matrix;
 pub mod metrics;
 pub mod patterns;
 
 pub use clustering::Clustering;
+pub use csr::CsrGraph;
 pub use graph::WeightedGraph;
 pub use matrix::CommMatrix;

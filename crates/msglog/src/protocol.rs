@@ -1,5 +1,7 @@
 //! Logging classification and the two protocol cost metrics.
 
+use std::sync::Arc;
+
 use hcft_graph::{Clustering, CommMatrix};
 use hcft_topology::{Placement, Rank};
 
@@ -38,15 +40,22 @@ impl LogStats {
 }
 
 /// The hybrid protocol configured with a failure-containment clustering.
+///
+/// The clustering is held behind an [`Arc`] so sweeps instantiating one
+/// protocol per scheme share the partition instead of deep-copying it.
 #[derive(Clone, Debug)]
 pub struct HybridProtocol {
-    clustering: Clustering,
+    clustering: Arc<Clustering>,
 }
 
 impl HybridProtocol {
-    /// Protocol over the given (L1) clustering.
-    pub fn new(clustering: Clustering) -> Self {
-        HybridProtocol { clustering }
+    /// Protocol over the given (L1) clustering. Accepts an owned
+    /// [`Clustering`] or an `Arc<Clustering>`; the latter is a cheap
+    /// refcount bump.
+    pub fn new(clustering: impl Into<Arc<Clustering>>) -> Self {
+        HybridProtocol {
+            clustering: clustering.into(),
+        }
     }
 
     /// The clustering in force.

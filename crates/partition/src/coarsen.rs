@@ -5,7 +5,7 @@
 //! structure: a good partition of the coarse graph projects to a good
 //! partition of the fine graph.
 
-use hcft_graph::WeightedGraph;
+use hcft_graph::{CsrGraph, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -61,23 +61,23 @@ pub fn coarsen_once(g: &WeightedGraph, seed: u64) -> Option<CoarseLevel> {
         }
         next += 1;
     }
-    // Build the coarse graph.
-    let mut coarse = WeightedGraph::new(next);
+    // Build the coarse graph: collect the surviving edges as coarse-id
+    // triples and let the CSR constructor aggregate the duplicates in one
+    // sort, instead of probing the adjacency list per inserted edge.
     let mut cw = vec![0u64; next];
     for u in 0..n {
         cw[map[u]] += g.vertex_weight(u);
     }
-    for (c, &w) in cw.iter().enumerate() {
-        coarse.set_vertex_weight(c, w);
-    }
+    let mut edges: Vec<(u32, u32, u64)> = Vec::with_capacity(g.edge_count());
     for u in 0..n {
         for &(v, w) in g.neighbors(u) {
             let v = v as usize;
             if u < v && map[u] != map[v] {
-                coarse.add_edge(map[u], map[v], w);
+                edges.push((map[u] as u32, map[v] as u32, w));
             }
         }
     }
+    let coarse = CsrGraph::from_edges(next, cw, &edges).to_weighted_graph();
     Some(CoarseLevel { graph: coarse, map })
 }
 

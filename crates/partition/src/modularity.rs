@@ -9,31 +9,44 @@
 //!
 //! Complexity is O(n² · merges) in this straightforward implementation —
 //! ample for node graphs (the paper's largest is 64–128 nodes).
+//!
+//! Community adjacency is kept as sorted `(community, weight)` rows
+//! seeded from the graph's [`CsrGraph`] form and merged by merge-join.
+//! Besides dropping per-edge hashing, the sorted rows make ΔQ
+//! tie-breaking canonical (lowest community pair wins); the previous
+//! `HashMap` rows iterated in randomized order, so ties could resolve
+//! differently between runs of the same input.
 
-use hcft_graph::WeightedGraph;
+use hcft_graph::{CsrGraph, WeightedGraph};
 
 use crate::SizeBounds;
+
+/// Sorted community adjacency row: `(neighbour community, edge weight)`,
+/// ascending by community id, no duplicates.
+type LinkRow = Vec<(u32, f64)>;
 
 /// Agglomerate `g` into communities within `bounds` (by vertex weight).
 /// Returns the part assignment.
 pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> {
     let n = g.n();
     assert!(n > 0);
-    let two_w: f64 = 2.0 * g.total_edge_weight() as f64;
+    let csr = CsrGraph::from_graph(g);
+    let two_w: f64 = 2.0 * csr.total_edge_weight() as f64;
     // Community state: `comm[u]` = current community of vertex u;
     // communities tracked via representative ids.
     let mut comm: Vec<usize> = (0..n).collect();
-    let mut weight: Vec<u64> = (0..n).map(|u| g.vertex_weight(u)).collect();
+    let mut weight: Vec<u64> = (0..n).map(|u| csr.vertex_weight(u)).collect();
     // deg[c] = total weighted degree of community c (for ΔQ).
-    let mut deg: Vec<f64> = (0..n).map(|u| g.degree(u) as f64).collect();
-    // links[c][d] = weight between communities c and d.
-    let mut links: Vec<std::collections::HashMap<usize, f64>> = (0..n)
+    let mut deg: Vec<f64> = (0..n).map(|u| csr.degree(u) as f64).collect();
+    // links[c] = sorted (d, weight) rows between communities, seeded
+    // straight from the CSR rows (already sorted and duplicate-free).
+    let mut links: Vec<LinkRow> = (0..n)
         .map(|u| {
-            let mut m = std::collections::HashMap::new();
-            for &(v, w) in g.neighbors(u) {
-                *m.entry(v as usize).or_insert(0.0) += w as f64;
-            }
-            m
+            let (nbrs, wgts) = csr.neighbors(u);
+            nbrs.iter()
+                .zip(wgts)
+                .map(|(&v, &w)| (v, w as f64))
+                .collect()
         })
         .collect();
     let mut alive: Vec<bool> = vec![true; n];
@@ -52,7 +65,8 @@ pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> 
             if !alive[c] {
                 continue;
             }
-            for (&d, &e_cd) in &links[c] {
+            for &(d, e_cd) in &links[c] {
+                let d = d as usize;
                 if d <= c || !alive[d] {
                     continue;
                 }
@@ -85,9 +99,12 @@ pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> 
     while let Some(c) = (0..n).find(|&c| alive[c] && weight[c] < bounds.min_weight) {
         let neighbour = links[c]
             .iter()
-            .filter(|&(&d, _)| alive[d] && d != c && weight[c] + weight[d] <= bounds.max_weight)
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
-            .map(|(&d, _)| d);
+            .filter(|&&(d, _)| {
+                let d = d as usize;
+                alive[d] && d != c && weight[c] + weight[d] <= bounds.max_weight
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
+            .map(|&(d, _)| d as usize);
         let target = neighbour.or_else(|| {
             (0..n)
                 .filter(|&d| alive[d] && d != c && weight[c] + weight[d] <= bounds.max_weight)
@@ -193,7 +210,7 @@ fn merge(
     comm: &mut [usize],
     weight: &mut [u64],
     deg: &mut [f64],
-    links: &mut [std::collections::HashMap<usize, f64>],
+    links: &mut [LinkRow],
     alive: &mut [bool],
 ) {
     // Absorb d into c.
@@ -205,22 +222,73 @@ fn merge(
     weight[c] += weight[d];
     deg[c] += deg[d];
     alive[d] = false;
-    // Fold d's links into c's; drop the now-internal c↔d edge.
+    // Drop every back-reference to d, then fold d's row into c's via a
+    // merge-join of the two sorted rows (the internal c↔d edge and any
+    // self entry vanish in the join).
     let d_links = std::mem::take(&mut links[d]);
-    for (e, w) in d_links {
-        links[e].remove(&d);
-        if e == c {
-            continue;
-        }
-        *links[c].entry(e).or_insert(0.0) += w;
+    for &(e, _) in &d_links {
+        remove_link(&mut links[e as usize], d as u32);
     }
-    links[c].remove(&d);
-    links[c].remove(&c);
+    remove_link(&mut links[c], d as u32);
+    let c_links = std::mem::take(&mut links[c]);
+    let merged = merge_rows(&c_links, &d_links, c as u32, d as u32);
     // Restore symmetry: every neighbour's view of c matches c's view.
-    let entries: Vec<(usize, f64)> = links[c].iter().map(|(&e, &w)| (e, w)).collect();
-    for (e, w) in entries {
-        links[e].insert(c, w);
+    for &(e, w) in &merged {
+        set_link(&mut links[e as usize], c as u32, w);
     }
+    links[c] = merged;
+}
+
+/// Remove `key` from a sorted row, if present.
+fn remove_link(row: &mut LinkRow, key: u32) {
+    if let Ok(i) = row.binary_search_by_key(&key, |&(v, _)| v) {
+        row.remove(i);
+    }
+}
+
+/// Insert or overwrite `key` in a sorted row.
+fn set_link(row: &mut LinkRow, key: u32, w: f64) {
+    match row.binary_search_by_key(&key, |&(v, _)| v) {
+        Ok(i) => row[i].1 = w,
+        Err(i) => row.insert(i, (key, w)),
+    }
+}
+
+/// Merge-join two sorted rows, summing weights on equal keys and
+/// dropping `skip_a`/`skip_b` (the merging communities themselves).
+fn merge_rows(a: &[(u32, f64)], b: &[(u32, f64)], skip_a: u32, skip_b: u32) -> LinkRow {
+    let mut out = LinkRow::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let (key, w) = match (a.get(i), b.get(j)) {
+            (Some(&(ka, wa)), Some(&(kb, wb))) if ka == kb => {
+                i += 1;
+                j += 1;
+                (ka, wa + wb)
+            }
+            (Some(&(ka, wa)), Some(&(kb, _))) if ka < kb => {
+                i += 1;
+                (ka, wa)
+            }
+            (Some(_), Some(&(kb, wb))) => {
+                j += 1;
+                (kb, wb)
+            }
+            (Some(&(ka, wa)), None) => {
+                i += 1;
+                (ka, wa)
+            }
+            (None, Some(&(kb, wb))) => {
+                j += 1;
+                (kb, wb)
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        if key != skip_a && key != skip_b {
+            out.push((key, w));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! negative gain are rejected, so each pass monotonically improves the cut
 //! and termination is guaranteed.
 
-use hcft_graph::WeightedGraph;
+use hcft_graph::{CsrGraph, WeightedGraph};
 
 use crate::SizeBounds;
 
@@ -67,19 +67,21 @@ pub fn refine_pass(
 /// Swaps keep part weights unchanged, so they work even under exactly
 /// tight bounds where single moves are impossible. O(boundary²) — only
 /// used on graphs small enough for that to be cheap (node graphs).
-pub fn swap_pass(g: &WeightedGraph, part_of: &mut [usize]) -> u64 {
+pub fn swap_pass(g: &CsrGraph, part_of: &mut [usize]) -> u64 {
     let boundary: Vec<usize> = (0..g.n())
         .filter(|&u| {
             g.neighbors(u)
+                .0
                 .iter()
-                .any(|&(v, _)| part_of[v as usize] != part_of[u])
+                .any(|&v| part_of[v as usize] != part_of[u])
         })
         .collect();
     let link = |u: usize, p: usize, part_of: &[usize]| -> u64 {
-        g.neighbors(u)
-            .iter()
-            .filter(|&&(v, _)| part_of[v as usize] == p)
-            .map(|&(_, w)| w)
+        let (nbrs, wgts) = g.neighbors(u);
+        nbrs.iter()
+            .zip(wgts)
+            .filter(|&(&v, _)| part_of[v as usize] == p)
+            .map(|(_, &w)| w)
             .sum()
     };
     let mut total_gain = 0u64;
@@ -92,6 +94,8 @@ pub fn swap_pass(g: &WeightedGraph, part_of: &mut [usize]) -> u64 {
             }
             let gain_u = link(u, pv, part_of) as i128 - link(u, pu, part_of) as i128;
             let gain_v = link(v, pu, part_of) as i128 - link(v, pv, part_of) as i128;
+            // Binary-search edge lookup: this O(boundary²) loop hits it
+            // on every candidate pair.
             let gain = gain_u + gain_v - 2 * g.edge_weight(u, v) as i128;
             if gain > 0 {
                 part_of[u] = pv;
@@ -116,10 +120,13 @@ pub fn refine(
     bounds: SizeBounds,
     max_passes: usize,
 ) {
+    // The swap pass probes pairwise edge weights; build the sorted-CSR
+    // view once for the whole refinement and binary-search it.
+    let csr = (g.n() <= SWAP_PASS_LIMIT).then(|| CsrGraph::from_graph(g));
     for _ in 0..max_passes {
         let mut gain = refine_pass(g, part_of, part_weight, bounds);
-        if g.n() <= SWAP_PASS_LIMIT {
-            gain += swap_pass(g, part_of);
+        if let Some(csr) = &csr {
+            gain += swap_pass(csr, part_of);
         }
         if gain == 0 {
             break;

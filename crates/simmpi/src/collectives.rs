@@ -206,11 +206,12 @@ impl Comm {
         // Phase 1: ranks < 2*rem pair up; odd ranks absorb even ranks.
         let newrank = if rank < 2 * rem {
             if rank.is_multiple_of(2) {
-                self.send_raw(rank + 1, TAG_ALLREDUCE, encode(&acc));
+                self.send_raw(rank + 1, TAG_ALLREDUCE, self.encode_pooled(&acc));
                 None
             } else {
                 let b = self.recv_raw(rank - 1, TAG_ALLREDUCE);
                 reduce_in(&mut acc, &b, &op);
+                self.recycle(b);
                 Some(rank / 2)
             }
         } else {
@@ -227,9 +228,10 @@ impl Comm {
                 } else {
                     partner_nr + rem
                 };
-                self.send_raw(partner, TAG_ALLREDUCE | step, encode(&acc));
+                self.send_raw(partner, TAG_ALLREDUCE | step, self.encode_pooled(&acc));
                 let b = self.recv_raw(partner, TAG_ALLREDUCE | step);
                 reduce_in(&mut acc, &b, &op);
+                self.recycle(b);
                 dist <<= 1;
                 step += 1;
             }
@@ -237,9 +239,11 @@ impl Comm {
         // Phase 3: hand results back to the absorbed even ranks.
         if rank < 2 * rem {
             if rank % 2 == 1 {
-                self.send_raw(rank - 1, TAG_ALLREDUCE | 0xFF, encode(&acc));
+                self.send_raw(rank - 1, TAG_ALLREDUCE | 0xFF, self.encode_pooled(&acc));
             } else {
-                acc = decode(&self.recv_raw(rank + 1, TAG_ALLREDUCE | 0xFF));
+                let b = self.recv_raw(rank + 1, TAG_ALLREDUCE | 0xFF);
+                acc = decode(&b);
+                self.recycle(b);
             }
         }
         acc
@@ -268,7 +272,9 @@ impl Comm {
         while mask < n {
             if vrank & mask != 0 {
                 let src = (vrank - mask + root) % n;
-                *data = decode(&self.recv_raw(src, TAG_BCAST));
+                let b = self.recv_raw(src, TAG_BCAST);
+                *data = decode(&b);
+                self.recycle(b);
                 break;
             }
             mask <<= 1;
@@ -277,7 +283,7 @@ impl Comm {
         while mask > 0 {
             if vrank & mask == 0 && vrank + mask < n {
                 let dst = (vrank + mask + root) % n;
-                self.send_raw(dst, TAG_BCAST, encode(data));
+                self.send_raw(dst, TAG_BCAST, self.encode_pooled(data));
             }
             mask >>= 1;
         }
@@ -445,14 +451,16 @@ impl Comm {
         let rank = self.rank();
         let mut acc = mine.to_vec();
         if rank > 0 {
-            let prev = decode::<T>(&self.recv_raw(rank - 1, TAG_SCAN));
+            let b = self.recv_raw(rank - 1, TAG_SCAN);
+            let prev = decode::<T>(&b);
+            self.recycle(b);
             assert_eq!(prev.len(), acc.len(), "scan length mismatch");
             for (a, p) in acc.iter_mut().zip(prev) {
                 *a = op(p, *a);
             }
         }
         if rank + 1 < self.size() {
-            self.send_raw(rank + 1, TAG_SCAN, encode(&acc));
+            self.send_raw(rank + 1, TAG_SCAN, self.encode_pooled(&acc));
         }
         acc
     }

@@ -11,7 +11,7 @@ use std::cell::Cell;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::datatype::{decode, encode, Datum};
+use crate::datatype::{decode, encode_into, Datum};
 use crate::runtime::Shared;
 use crate::trace::MessageEvent;
 
@@ -105,7 +105,9 @@ impl Comm {
     /// Panics on an out-of-range destination or a reserved tag.
     pub fn send_bytes(&self, dst: usize, tag: u32, bytes: &[u8]) {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
-        self.send_raw(dst, tag, bytes.to_vec());
+        let mut buf = self.shared.pool.checkout(bytes.len());
+        buf.extend_from_slice(bytes);
+        self.send_raw(dst, tag, buf);
     }
 
     /// Blocking receive of raw bytes from `src` with `tag`.
@@ -117,13 +119,29 @@ impl Comm {
     /// Typed send: encodes `data` and ships it.
     pub fn send_slice<T: Datum>(&self, dst: usize, tag: u32, data: &[T]) {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
-        self.send_raw(dst, tag, encode(data));
+        self.send_raw(dst, tag, self.encode_pooled(data));
     }
 
     /// Typed receive.
     pub fn recv_vec<T: Datum>(&self, src: usize, tag: u32) -> Vec<T> {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
-        decode(&self.recv_raw(src, tag))
+        let raw = self.recv_raw(src, tag);
+        let out = decode(&raw);
+        self.shared.pool.recycle(raw);
+        out
+    }
+
+    /// Encode into a pooled buffer (the matching typed receive recycles
+    /// it on the other side).
+    pub(crate) fn encode_pooled<T: Datum>(&self, data: &[T]) -> Vec<u8> {
+        let mut buf = self.shared.pool.checkout(data.len() * T::WIDTH);
+        encode_into(data, &mut buf);
+        buf
+    }
+
+    /// Hand a spent payload buffer back to the world's pool.
+    pub(crate) fn recycle(&self, buf: Vec<u8>) {
+        self.shared.pool.recycle(buf);
     }
 
     /// Combined send+receive (safe under buffered sends; provided for

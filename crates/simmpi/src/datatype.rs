@@ -38,10 +38,17 @@ impl_datum!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
 /// Encode a slice of datums into a fresh byte buffer.
 pub fn encode<T: Datum>(xs: &[T]) -> Vec<u8> {
     let mut out = Vec::with_capacity(xs.len() * T::WIDTH);
-    for &x in xs {
-        x.pack(&mut out);
-    }
+    encode_into(xs, &mut out);
     out
+}
+
+/// Encode a slice of datums, appending to an existing buffer — lets the
+/// send path reuse pooled payload buffers instead of allocating.
+pub fn encode_into<T: Datum>(xs: &[T], out: &mut Vec<u8>) {
+    out.reserve(xs.len() * T::WIDTH);
+    for &x in xs {
+        x.pack(out);
+    }
 }
 
 /// Decode a byte buffer produced by [`encode`].

@@ -33,7 +33,10 @@ impl<'a> RecvRequest<'a> {
     /// Block until the message arrives and decode it.
     pub fn wait<T: Datum>(mut self) -> Vec<T> {
         self.done = true;
-        decode(&self.comm.recv_bytes(self.src, self.tag))
+        let raw = self.comm.recv_bytes(self.src, self.tag);
+        let out = decode(&raw);
+        self.comm.recycle(raw);
+        out
     }
 
     /// The posted source rank.

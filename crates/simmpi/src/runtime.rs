@@ -1,15 +1,25 @@
-//! World construction: one OS thread per rank, shared mailboxes.
+//! World construction: one OS thread per rank, sharded shared mailboxes.
 //!
 //! 1088 ranks (the paper's largest job) means 1088 threads; with 512 KiB
 //! stacks that is ~0.5 GiB of reserved (mostly untouched) address space —
 //! cheap on Linux. Threads block on condvars while waiting for messages,
 //! so oversubscription costs context switches only when traffic flows.
+//!
+//! Each rank's mailbox is split into shards indexed by *sender* world
+//! rank, so concurrent senders to the same destination (the all-to-one
+//! patterns of gather/reduce, and the encoder ranks absorbing checkpoint
+//! pushes) do not serialize on one mutex. A message's channel
+//! (ctx, src, tag) always maps to exactly one shard, so FIFO per channel
+//! is preserved by construction. `HCFT_SIMMPI_SHARDS=1` collapses to the
+//! pre-sharding design (one mutex + condvar per rank) — the baseline the
+//! `bench_pipeline` harness compares against.
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hcft_telemetry::{Counter, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::comm::Comm;
@@ -18,17 +28,119 @@ use crate::trace::TraceRecorder;
 /// Message-queue key: (communicator context, sender comm-rank, tag).
 pub(crate) type MsgKey = (u64, u32, u32);
 
-/// Per-rank mailbox with FIFO queues per (ctx, src, tag).
+/// Default shard count per mailbox (capped at the world size).
+const DEFAULT_SHARDS: usize = 8;
+
+/// One lock domain of a mailbox: FIFO queues per (ctx, src, tag) for the
+/// subset of senders hashing here, plus the condvar receivers park on.
+struct Shard {
+    queues: Mutex<HashMap<MsgKey, std::collections::VecDeque<Vec<u8>>>>,
+    cv: Condvar,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            queues: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Per-rank mailbox, sharded by sender comm-rank.
 pub(crate) struct Mailbox {
-    pub(crate) queues: Mutex<HashMap<MsgKey, std::collections::VecDeque<Vec<u8>>>>,
-    pub(crate) cv: Condvar,
+    shards: Vec<Shard>,
 }
 
 impl Mailbox {
-    fn new() -> Self {
+    fn new(num_shards: usize) -> Self {
         Mailbox {
-            queues: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
+            shards: (0..num_shards.max(1)).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// The shard owning a channel. Sharding on the sender keeps every
+    /// (ctx, src, tag) channel on a single lock, which is what makes
+    /// per-channel FIFO survive the split.
+    #[inline]
+    fn shard(&self, key: &MsgKey) -> &Shard {
+        &self.shards[key.1 as usize % self.shards.len()]
+    }
+}
+
+/// Mailbox telemetry, resolved once per world so the per-message path
+/// touches relaxed atomics only (no registry name lookups).
+pub(crate) struct MailboxMetrics {
+    /// Messages deposited into any mailbox.
+    pub(crate) messages: Arc<Counter>,
+    /// Payload bytes moved through mailboxes.
+    pub(crate) bytes: Arc<Counter>,
+    /// Times a receiver actually parked on a condvar (message not ready).
+    pub(crate) waits: Arc<Counter>,
+    /// Sends that found the shard lock held and had to block for it.
+    pub(crate) contended: Arc<Counter>,
+}
+
+impl MailboxMetrics {
+    fn from_registry(reg: &Registry) -> Self {
+        MailboxMetrics {
+            messages: reg.counter("simmpi.mailbox.messages"),
+            bytes: reg.counter("simmpi.mailbox.bytes"),
+            waits: reg.counter("simmpi.mailbox.wait_events"),
+            contended: reg.counter("simmpi.mailbox.send_contended"),
+        }
+    }
+}
+
+/// Recycled payload buffers. `send_*` checks out a buffer, the matching
+/// typed receive recycles it after decoding, so steady-state traffic
+/// (halo exchanges, allreduce rounds) stops hitting the allocator.
+pub(crate) struct BufferPool {
+    slots: Mutex<Vec<Vec<u8>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl BufferPool {
+    /// Buffers retained at once; beyond this, returns go to the allocator.
+    const MAX_POOLED: usize = 256;
+    /// Largest capacity worth retaining — one halo column is a few KiB,
+    /// one checkpoint push ≤ 1 MiB; bigger buffers are one-offs.
+    const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+    fn new(reg: &Registry) -> Self {
+        BufferPool {
+            slots: Mutex::new(Vec::new()),
+            hits: reg.counter("simmpi.pool.hits"),
+            misses: reg.counter("simmpi.pool.misses"),
+        }
+    }
+
+    /// An empty buffer with at least `capacity` reserved.
+    pub(crate) fn checkout(&self, capacity: usize) -> Vec<u8> {
+        let reused = self.slots.lock().pop();
+        match reused {
+            Some(mut v) => {
+                self.hits.inc();
+                v.clear();
+                v.reserve(capacity);
+                v
+            }
+            None => {
+                self.misses.inc();
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Return a spent payload for reuse (oversized buffers are dropped).
+    pub(crate) fn recycle(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > Self::MAX_POOLED_CAPACITY {
+            return;
+        }
+        let mut slots = self.slots.lock();
+        if slots.len() < Self::MAX_POOLED {
+            slots.push(buf);
         }
     }
 }
@@ -40,6 +152,8 @@ pub(crate) struct Shared {
     pub(crate) trace: Arc<TraceRecorder>,
     pub(crate) phases: Vec<AtomicU64>,
     pub(crate) recv_timeout: Duration,
+    pub(crate) metrics: MailboxMetrics,
+    pub(crate) pool: BufferPool,
 }
 
 impl Shared {
@@ -47,9 +161,9 @@ impl Shared {
     /// Panics with a diagnostic if `recv_timeout` elapses — a deadlocked
     /// SPMD program is a bug we want loudly, not a hung test suite.
     pub(crate) fn blocking_recv(&self, rank: usize, key: MsgKey) -> Vec<u8> {
-        let mb = &self.mailboxes[rank];
+        let shard = self.mailboxes[rank].shard(&key);
         let deadline = Instant::now() + self.recv_timeout;
-        let mut queues = mb.queues.lock();
+        let mut queues = shard.queues.lock();
         loop {
             if let Some(q) = queues.get_mut(&key) {
                 if let Some(msg) = q.pop_front() {
@@ -59,7 +173,8 @@ impl Shared {
                     return msg;
                 }
             }
-            if mb.cv.wait_until(&mut queues, deadline).timed_out() {
+            self.metrics.waits.inc();
+            if shard.cv.wait_until(&mut queues, deadline).timed_out() {
                 panic!(
                     "simmpi deadlock: rank {rank} waited {:?} for (ctx={}, src={}, tag={:#x})",
                     self.recv_timeout, key.0, key.1, key.2
@@ -70,9 +185,19 @@ impl Shared {
 
     /// Deposit a message into `dst`'s mailbox.
     pub(crate) fn deliver(&self, dst: usize, key: MsgKey, payload: Vec<u8>) {
-        let mb = &self.mailboxes[dst];
-        mb.queues.lock().entry(key).or_default().push_back(payload);
-        mb.cv.notify_all();
+        self.metrics.messages.inc();
+        self.metrics.bytes.add(payload.len() as u64);
+        let shard = self.mailboxes[dst].shard(&key);
+        let mut queues = match shard.queues.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.metrics.contended.inc();
+                shard.queues.lock()
+            }
+        };
+        queues.entry(key).or_default().push_back(payload);
+        drop(queues);
+        shard.cv.notify_all();
     }
 }
 
@@ -86,6 +211,10 @@ pub struct WorldConfig {
     /// Also keep the ordered per-sender event log (needed by the
     /// message-logging analyses; costs memory per message).
     pub trace_events: bool,
+    /// Mailbox shards per rank; 0 = auto (`HCFT_SIMMPI_SHARDS` env
+    /// override, else 8, capped at the world size). 1 reproduces the
+    /// unsharded single-mutex-per-rank design.
+    pub mailbox_shards: usize,
 }
 
 impl Default for WorldConfig {
@@ -94,8 +223,23 @@ impl Default for WorldConfig {
             stack_size: 512 * 1024,
             recv_timeout: Duration::from_secs(60),
             trace_events: false,
+            mailbox_shards: 0,
         }
     }
+}
+
+/// Shards per mailbox for a world of `n` ranks under `cfg`.
+fn resolve_shards(cfg: &WorldConfig, n: usize) -> usize {
+    let requested = if cfg.mailbox_shards > 0 {
+        cfg.mailbox_shards
+    } else {
+        std::env::var("HCFT_SIMMPI_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(DEFAULT_SHARDS)
+    };
+    requested.min(n).max(1)
 }
 
 /// A finished world run: per-rank outputs (rank-ordered) plus the trace.
@@ -130,13 +274,19 @@ impl World {
         F: Fn(&mut Comm) -> T + Send + Sync + 'static,
     {
         assert!(n > 0, "world needs at least one rank");
+        let shards = resolve_shards(&cfg, n);
+        let reg = Registry::global();
+        reg.counter("simmpi.worlds").inc();
+        reg.gauge("simmpi.mailbox.shards").set(shards as f64);
         let trace = Arc::new(TraceRecorder::new(n, cfg.trace_events));
         let shared = Arc::new(Shared {
             n,
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..n).map(|_| Mailbox::new(shards)).collect(),
             trace: Arc::clone(&trace),
             phases: (0..n).map(|_| AtomicU64::new(0)).collect(),
             recv_timeout: cfg.recv_timeout,
+            metrics: MailboxMetrics::from_registry(reg),
+            pool: BufferPool::new(reg),
         });
         let f = Arc::new(f);
         let mut handles = Vec::with_capacity(n);
@@ -266,5 +416,76 @@ mod tests {
             }
         });
         assert_eq!(r.outputs[0], (1..64).sum::<u64>());
+    }
+
+    /// Same workload under every shard count that exercises a distinct
+    /// code path: 1 (the unsharded baseline), 3 (ranks share shards
+    /// unevenly), and more shards than ranks (capped).
+    #[test]
+    fn shard_counts_do_not_change_results() {
+        for shards in [1usize, 3, 64] {
+            let cfg = WorldConfig {
+                mailbox_shards: shards,
+                ..WorldConfig::default()
+            };
+            let r = World::run_with(8, cfg, |c| {
+                let mut got = Vec::new();
+                for src in 0..c.size() {
+                    if src != c.rank() {
+                        c.send_slice(src, 2, &[(c.rank() * 100) as u64]);
+                    }
+                }
+                for src in 0..c.size() {
+                    if src != c.rank() {
+                        got.push(c.recv_vec::<u64>(src, 2)[0]);
+                    }
+                }
+                got.iter().sum::<u64>()
+            });
+            let total: u64 = (0..8u64).map(|r| r * 100).sum();
+            for (rank, &sum) in r.outputs.iter().enumerate() {
+                assert_eq!(sum, total - rank as u64 * 100, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn mailbox_metrics_count_traffic() {
+        let reg = Registry::global();
+        let msgs_before = reg.counter("simmpi.mailbox.messages").get();
+        let bytes_before = reg.counter("simmpi.mailbox.bytes").get();
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 1, &[0u8; 100]);
+            } else {
+                c.recv_bytes(0, 1);
+            }
+        });
+        assert!(reg.counter("simmpi.mailbox.messages").get() > msgs_before);
+        assert!(reg.counter("simmpi.mailbox.bytes").get() >= bytes_before + 100);
+    }
+
+    #[test]
+    fn buffer_pool_reuses_payloads() {
+        let reg = Registry::global();
+        let hits_before = reg.counter("simmpi.pool.hits").get();
+        // A long ping-pong of typed messages: after warm-up every send
+        // can check out the buffer the previous receive recycled.
+        World::run(2, |c| {
+            let other = 1 - c.rank();
+            for i in 0..200u64 {
+                if c.rank() == 0 {
+                    c.send_slice(other, 1, &[i]);
+                    c.recv_vec::<u64>(other, 2);
+                } else {
+                    c.recv_vec::<u64>(other, 1);
+                    c.send_slice(other, 2, &[i]);
+                }
+            }
+        });
+        assert!(
+            reg.counter("simmpi.pool.hits").get() > hits_before,
+            "pool should serve repeat sends from recycled buffers"
+        );
     }
 }
