@@ -1,0 +1,390 @@
+//! Partition-engine perf-regression harness: proves the scalable
+//! clustering engines (lazy-deletion heap CNM, incremental corner-heap
+//! seeding, gain-bucket refinement) against their retained quadratic
+//! references on synthetic large machines, and pins the paper-scale
+//! Table II partitions bit-for-bit. Writes `BENCH_partition.json`.
+//!
+//! Run from the repo root so the JSON lands next to the sources:
+//!
+//! ```text
+//! cargo run --release -p hcft-bench --bin bench_partition
+//! ```
+//!
+//! `BENCH_PARTITION_QUICK=1` trims graph sizes for CI smoke runs (and
+//! checks the fixture at small scale only — the paper-scale trace costs
+//! ~13 s of simulation before partitioning starts).
+//! `BENCH_PARTITION_OUT` / `BENCH_PARTITION_TELEMETRY_OUT` override the
+//! output paths. `--dump-fixture [path]` regenerates
+//! `results/partition_fixtures.txt` from the current engines instead of
+//! benchmarking (only legitimate after an intentional, reviewed change
+//! to partition semantics).
+//!
+//! Regression gates (assert-based, like `bench_pipeline`):
+//! * heap CNM must produce the *identical* partition to the quadratic
+//!   reference at every size, and be ≥5× faster at ≥8k nodes;
+//! * incremental seeding must reproduce the per-seed-scan reference
+//!   exactly, and be ≥5× faster at ≥32k nodes;
+//! * edge-cut must match the reference within 2% (trivially exact here,
+//!   asserted anyway so the gate survives future divergence);
+//! * the Table II node-graph partitions must match
+//!   `results/partition_fixtures.txt` byte-for-byte.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hcft_bench::harness::{traced, Scale};
+use hcft_graph::WeightedGraph;
+use hcft_partition::reference::grow_initial_scan;
+use hcft_partition::{
+    check_partition, modularity_clusters, modularity_clusters_reference, MultilevelConfig,
+    MultilevelPartitioner, SizeBounds,
+};
+use hcft_topology::synthetic::{fat_tree, torus2d, torus3d, SyntheticGraph};
+
+/// One timed stage on one graph.
+struct Row {
+    stage: &'static str,
+    graph: String,
+    nodes: usize,
+    seconds: f64,
+    baseline_seconds: f64,
+    speedup: f64,
+    cut: u64,
+    baseline_cut: u64,
+}
+
+/// Minimum seconds over `samples` runs of `f` (the low-noise estimator
+/// for stages that run tens of milliseconds to seconds).
+fn time_min<T>(samples: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("samples >= 1"))
+}
+
+fn to_weighted(sg: &SyntheticGraph) -> WeightedGraph {
+    let mut g = WeightedGraph::new(sg.nodes);
+    for &(u, v, w) in &sg.edges {
+        g.add_edge(u as usize, v as usize, w);
+    }
+    g
+}
+
+fn node_graph(scale: Scale) -> WeightedGraph {
+    let t = traced(scale);
+    let placement = t.layout.app_placement();
+    WeightedGraph::from_comm_matrix(&t.app.aggregate_by_node(&placement))
+}
+
+/// The Table II multilevel configuration: exact 4-node L1 clusters, with
+/// the same k-relaxation the scheme builder applies.
+fn multilevel_table2(g: &WeightedGraph) -> Vec<usize> {
+    let nodes = g.n();
+    let bounds = SizeBounds::new(4, 4);
+    let mut k = (nodes / 4).max(1);
+    while k > 1 && (k * 4 > nodes || nodes > k * 4) {
+        k -= 1;
+    }
+    MultilevelPartitioner::new(MultilevelConfig::new(k, bounds)).partition(g)
+}
+
+fn fixture_line(out: &mut String, label: &str, part: &[usize]) {
+    write!(out, "{label}:").expect("write");
+    for &p in part {
+        write!(out, " {p}").expect("write");
+    }
+    out.push('\n');
+}
+
+/// The Table II engine partitions at one scale, in fixture format.
+fn fixture_entries(name: &str, scale: Scale) -> String {
+    let g = node_graph(scale);
+    let mut out = String::new();
+    fixture_line(
+        &mut out,
+        &format!("{name} multilevel_4_4"),
+        &multilevel_table2(&g),
+    );
+    fixture_line(
+        &mut out,
+        &format!("{name} modularity_4_8"),
+        &modularity_clusters(&g, SizeBounds::new(4, 8)),
+    );
+    out
+}
+
+fn json_rows(rows: &[Row], threads: usize, effective: usize) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"stage\": \"{}\", \"graph\": \"{}\", \"nodes\": {}, \
+             \"seconds\": {:.4}, \"baseline_seconds\": {:.4}, \"speedup\": {:.2}, \
+             \"cut\": {}, \"baseline_cut\": {}, \"threads\": {threads}, \
+             \"effective_threads\": {effective}}}{sep}",
+            r.stage,
+            r.graph,
+            r.nodes,
+            r.seconds,
+            r.baseline_seconds,
+            r.speedup,
+            r.cut,
+            r.baseline_cut
+        )
+        .expect("string write");
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--dump-fixture") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "results/partition_fixtures.txt".into());
+        let mut out = String::new();
+        for (name, scale) in [("small", Scale::Small), ("paper", Scale::Paper)] {
+            out.push_str(&fixture_entries(name, scale));
+        }
+        std::fs::write(&path, &out).expect("write fixtures");
+        eprintln!("wrote {path}");
+        return;
+    }
+
+    let quick = std::env::var("BENCH_PARTITION_QUICK").is_ok();
+    let samples = if quick { 1 } else { 3 };
+    let threads = rayon::current_num_threads();
+    let effective = threads.min(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
+    let reg = hcft_telemetry::Registry::global();
+    reg.gauge("bench.partition.threads").set(threads as f64);
+    reg.gauge("bench.partition.effective_threads")
+        .set(effective as f64);
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- CNM: lazy-deletion heap vs the quadratic scan reference ----
+    let cnm_graphs: Vec<(String, SyntheticGraph)> = {
+        let mut v = vec![
+            ("torus2d_64x64".to_string(), torus2d(64, 64, 1)),
+            ("torus3d_16x16x32".to_string(), torus3d(16, 16, 32, 2)),
+        ];
+        if !quick {
+            v.push(("torus3d_32x32x16".to_string(), torus3d(32, 32, 16, 3)));
+        }
+        v
+    };
+    for (gname, sg) in &cnm_graphs {
+        let g = to_weighted(sg);
+        let bounds = SizeBounds::new(2, 64);
+        eprintln!("[bench_partition] cnm {gname} ({} nodes)…", g.n());
+        let (t_ref, part_ref) = time_min(1, || modularity_clusters_reference(&g, bounds));
+        let (t_heap, part_heap) = time_min(samples, || modularity_clusters(&g, bounds));
+        assert_eq!(
+            part_heap, part_ref,
+            "heap CNM diverged from the quadratic reference on {gname}"
+        );
+        let cut = g.cut_weight(&part_heap);
+        let baseline_cut = g.cut_weight(&part_ref);
+        let speedup = t_ref / t_heap;
+        eprintln!(
+            "cnm     {gname:<18} heap {t_heap:8.3} s vs reference {t_ref:8.3} s ({speedup:.1}x)"
+        );
+        rows.push(Row {
+            stage: "cnm",
+            graph: gname.clone(),
+            nodes: g.n(),
+            seconds: t_heap,
+            baseline_seconds: t_ref,
+            speedup,
+            cut,
+            baseline_cut,
+        });
+    }
+
+    // ---- Seeding: incremental corner heap vs the per-seed scan ----
+    let seed_graphs: Vec<(String, SyntheticGraph)> = {
+        let mut v = vec![("torus2d_256x128".to_string(), torus2d(256, 128, 4))];
+        if !quick {
+            v.push(("torus2d_256x256".to_string(), torus2d(256, 256, 5)));
+        }
+        v
+    };
+    for (gname, sg) in &seed_graphs {
+        let g = to_weighted(sg);
+        let k = g.n() / 64;
+        eprintln!("[bench_partition] seed {gname} ({} nodes, k={k})…", g.n());
+        let (t_scan, part_scan) = time_min(1, || grow_initial_scan(&g, k, 0x5eed));
+        let (t_heap, part_heap) = time_min(samples, || {
+            hcft_partition::multilevel::grow_initial(&g, k, 0x5eed)
+        });
+        assert_eq!(
+            part_heap, part_scan,
+            "incremental seeding diverged from the scan reference on {gname}"
+        );
+        let cut = g.cut_weight(&part_heap);
+        let speedup = t_scan / t_heap;
+        eprintln!("seed    {gname:<18} heap {t_heap:8.3} s vs scan {t_scan:8.3} s ({speedup:.1}x)");
+        rows.push(Row {
+            stage: "seed",
+            graph: gname.clone(),
+            nodes: g.n(),
+            seconds: t_heap,
+            baseline_seconds: t_scan,
+            speedup,
+            cut,
+            baseline_cut: cut,
+        });
+    }
+
+    // ---- Multilevel end-to-end on large machines ----
+    let ml_graphs: Vec<(String, SyntheticGraph)> = {
+        let mut v = vec![("fat_tree_16x16x16".to_string(), fat_tree(16, 16, 16, 6))];
+        if !quick {
+            v.push(("torus3d_32x32x32".to_string(), torus3d(32, 32, 32, 7)));
+            v.push(("torus3d_64x64x32".to_string(), torus3d(64, 64, 32, 8)));
+        }
+        v
+    };
+    for (gname, sg) in &ml_graphs {
+        let g = to_weighted(sg);
+        let k = g.n() / 64;
+        let bounds = SizeBounds::new(16, 256);
+        eprintln!(
+            "[bench_partition] multilevel {gname} ({} nodes, k={k})…",
+            g.n()
+        );
+        let cfg = MultilevelConfig::new(k, bounds);
+        let (t_full, part) = time_min(1, || MultilevelPartitioner::new(cfg.clone()).partition(&g));
+        check_partition(&g, &part, Some(bounds)).expect("valid large partition");
+        let cut = g.cut_weight(&part);
+        eprintln!("mlevel  {gname:<18} {t_full:8.3} s (cut {cut})");
+        rows.push(Row {
+            stage: "multilevel",
+            graph: gname.clone(),
+            nodes: g.n(),
+            seconds: t_full,
+            baseline_seconds: t_full,
+            speedup: 1.0,
+            cut,
+            baseline_cut: cut,
+        });
+    }
+
+    // ---- Paper-scale identity: Table II partitions vs the fixture ----
+    let fixture_path = std::env::var("BENCH_PARTITION_FIXTURES")
+        .unwrap_or_else(|_| "results/partition_fixtures.txt".into());
+    let fixture = std::fs::read_to_string(&fixture_path)
+        .unwrap_or_else(|e| panic!("read {fixture_path}: {e} (run from the repo root)"));
+    let scales: &[(&str, Scale)] = if quick {
+        &[("small", Scale::Small)]
+    } else {
+        &[("small", Scale::Small), ("paper", Scale::Paper)]
+    };
+    for &(name, scale) in scales {
+        eprintln!("[bench_partition] fixture check at {name} scale…");
+        let (t_id, entries) = time_min(1, || fixture_entries(name, scale));
+        for line in entries.lines() {
+            assert!(
+                fixture.lines().any(|l| l == line),
+                "partition drift at {name} scale: fresh `{}` not in {fixture_path}",
+                line.split(':').next().unwrap_or(line)
+            );
+        }
+        eprintln!("fixture {name:<18} identical ({t_id:8.3} s incl. trace)");
+        rows.push(Row {
+            stage: "paper_identity",
+            graph: format!("table2_{name}"),
+            nodes: 0,
+            seconds: t_id,
+            baseline_seconds: t_id,
+            speedup: 1.0,
+            cut: 0,
+            baseline_cut: 0,
+        });
+    }
+
+    for r in &rows {
+        reg.gauge(&format!("bench.partition.{}.{}.seconds", r.stage, r.graph))
+            .set(r.seconds);
+        reg.gauge(&format!("bench.partition.{}.{}.speedup", r.stage, r.graph))
+            .set(r.speedup);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    writeln!(json, "  \"bench\": \"partition\",").expect("write");
+    writeln!(
+        json,
+        "  \"unit\": \"seconds of wall clock per stage (min over repeats)\","
+    )
+    .expect("write");
+    writeln!(json, "  \"threads\": {threads},").expect("write");
+    writeln!(json, "  \"effective_threads\": {effective},").expect("write");
+    writeln!(json, "  \"stages\": [").expect("write");
+    json.push_str(&json_rows(&rows, threads, effective));
+    writeln!(json, "  ]").expect("write");
+    json.push_str("}\n");
+
+    let out =
+        std::env::var("BENCH_PARTITION_OUT").unwrap_or_else(|_| "BENCH_partition.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_partition.json");
+    eprintln!("wrote {out}");
+
+    let telemetry_out = std::env::var("BENCH_PARTITION_TELEMETRY_OUT")
+        .unwrap_or_else(|_| "TELEMETRY_bench_partition.json".into());
+    reg.write_json(&telemetry_out)
+        .expect("write telemetry JSON");
+    eprintln!("wrote {telemetry_out}");
+
+    // Regression gates. The speedups are algorithmic (heap vs quadratic
+    // scan), not parallelism-bound, so the floors hold on one core too.
+    for r in &rows {
+        let cut_ratio = if r.baseline_cut == 0 {
+            1.0
+        } else {
+            r.cut as f64 / r.baseline_cut as f64
+        };
+        assert!(
+            (cut_ratio - 1.0).abs() <= 0.02,
+            "edge-cut drift: {} on {} is {:.3}x the reference cut (allowed ±2%)",
+            r.stage,
+            r.graph,
+            cut_ratio
+        );
+        match r.stage {
+            "cnm" if r.nodes >= 8192 => {
+                assert!(
+                    r.speedup >= 5.0,
+                    "perf regression: heap CNM is only {:.1}x the quadratic reference \
+                     on {} ({} nodes, floor 5x)",
+                    r.speedup,
+                    r.graph,
+                    r.nodes
+                );
+            }
+            "seed" if r.nodes >= 32768 => {
+                assert!(
+                    r.speedup >= 5.0,
+                    "perf regression: incremental seeding is only {:.1}x the scan \
+                     reference on {} ({} nodes, floor 5x)",
+                    r.speedup,
+                    r.graph,
+                    r.nodes
+                );
+            }
+            _ => {}
+        }
+    }
+    eprintln!("gates ok ({threads} threads, {effective} effective)");
+}

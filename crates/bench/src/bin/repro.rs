@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale paper|small] [--out DIR] [--telemetry PATH] <artifact>...
+//! repro [--scale paper|small] [--out DIR] [--telemetry PATH]
+//!       [--partition-engine multilevel|modularity] <artifact>...
 //!
 //! artifacts: table1 table2 fig3a fig3b fig4a fig4b fig4c
 //!            fig5a fig5b fig5c scaling all
@@ -16,6 +17,10 @@
 //! the `table2.*` counters in it carry the same logged-bytes and
 //! restart numbers as the rendered table, computed through the
 //! instrumentation path instead of the report path.
+//! `--partition-engine` selects the L1 clustering engine for the
+//! hierarchical scheme in `table2`, `fig5c` and `scaling` (default
+//! `multilevel`, the paper configuration), so engine sweeps can compare
+//! the two from the CLI.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +51,8 @@ const ALL: &[&str] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--scale paper|small] [--out DIR] [--telemetry PATH] <artifact>...\n\
+        "usage: repro [--scale paper|small] [--out DIR] [--telemetry PATH]\n\
+         \x20            [--partition-engine multilevel|modularity] <artifact>...\n\
          artifacts: {} all",
         ALL.join(" ")
     );
@@ -56,6 +62,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut out = PathBuf::from("results");
+    let mut engine = hcft_cluster::PartitionEngine::Multilevel;
     let mut telemetry_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -79,6 +86,15 @@ fn main() -> ExitCode {
                 };
                 telemetry_out = Some(PathBuf::from(v));
             }
+            "--partition-engine" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| hcft_cluster::PartitionEngine::parse(&v))
+                else {
+                    return usage();
+                };
+                engine = v;
+            }
             "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
             a if ALL.contains(&a) => wanted.push(a.to_string()),
             _ => return usage(),
@@ -90,7 +106,7 @@ fn main() -> ExitCode {
     for id in &wanted {
         let artifact: Artifact = match id.as_str() {
             "table1" => figures::table1(),
-            "table2" => figures::table2(scale),
+            "table2" => figures::table2(scale, engine),
             "fig3a" => figures::fig3a(scale),
             "fig3b" => figures::fig3b(scale),
             "fig4a" => figures::fig4a(),
@@ -98,8 +114,8 @@ fn main() -> ExitCode {
             "fig4c" => figures::fig4c(),
             "fig5a" => figures::fig5a(scale),
             "fig5b" => figures::fig5b(scale),
-            "fig5c" => figures::fig5c(scale),
-            "scaling" => figures::scaling(scale),
+            "fig5c" => figures::fig5c(scale, engine),
+            "scaling" => figures::scaling(scale, engine),
             "efficiency" => figures::efficiency(scale),
             "alltoall" => figures::alltoall(scale),
             "ablation" => figures::ablation(scale),

@@ -365,9 +365,23 @@ pub fn fig5b(scale: Scale) -> Artifact {
     }
 }
 
-/// Build the four paper schemes and their scores for a scale.
+/// Build the four paper schemes and their scores for a scale, with the
+/// default (multilevel) L1 partition engine.
 fn schemes_and_scores(
     scale: Scale,
+) -> (
+    Vec<hcft_cluster::ClusteringScheme>,
+    Vec<hcft_cluster::FourDScore>,
+) {
+    schemes_and_scores_with(scale, hcft_cluster::PartitionEngine::Multilevel)
+}
+
+/// [`schemes_and_scores`] with an explicit L1 partition engine (the
+/// `repro --partition-engine` plumbing, so engine sweeps reuse the same
+/// scoring path as the paper artifacts).
+fn schemes_and_scores_with(
+    scale: Scale,
+    engine: hcft_cluster::PartitionEngine,
 ) -> (
     Vec<hcft_cluster::ClusteringScheme>,
     Vec<hcft_cluster::FourDScore>,
@@ -378,7 +392,7 @@ fn schemes_and_scores(
         min_nodes_per_l1: 4,
         max_nodes_per_l1: 4,
         l2_group_nodes: 4,
-        ..Default::default()
+        engine,
     };
     // Iterates the ClusteringStrategy registry and publishes the
     // `table2.*` metrics into the global telemetry registry as a side
@@ -388,8 +402,8 @@ fn schemes_and_scores(
 }
 
 /// Table II: the four-dimension comparison of all clustering strategies.
-pub fn table2(scale: Scale) -> Artifact {
-    let (_, scores) = schemes_and_scores(scale);
+pub fn table2(scale: Scale, engine: hcft_cluster::PartitionEngine) -> Artifact {
+    let (_, scores) = schemes_and_scores_with(scale, engine);
     let mut report = String::from(
         "TABLE II — clustering comparison\n\n\
          method                   log.ovh  recovery  enc.(1GB)  P(cat.failure)\n",
@@ -429,8 +443,8 @@ pub fn table2(scale: Scale) -> Artifact {
 }
 
 /// Fig. 5c: all strategies normalised against the §III baseline.
-pub fn fig5c(scale: Scale) -> Artifact {
-    let (_, scores) = schemes_and_scores(scale);
+pub fn fig5c(scale: Scale, engine: hcft_cluster::PartitionEngine) -> Artifact {
+    let (_, scores) = schemes_and_scores_with(scale, engine);
     let baseline = BaselineRequirements::default();
     let labels = BaselineRequirements::axis_labels();
     let mut report = format!(
@@ -478,7 +492,7 @@ pub fn fig5c(scale: Scale) -> Artifact {
 
 /// §V scaling: the hierarchical clustering evaluated from 64 to the
 /// scale's full rank count.
-pub fn scaling(scale: Scale) -> Artifact {
+pub fn scaling(scale: Scale, engine: hcft_cluster::PartitionEngine) -> Artifact {
     let full_nodes = scale.job().nodes;
     let ppn = scale.job().app_per_node;
     let mut rows = Vec::new();
@@ -515,7 +529,7 @@ pub fn scaling(scale: Scale) -> Artifact {
                 min_nodes_per_l1: 4,
                 max_nodes_per_l1: 4,
                 l2_group_nodes: 4,
-                ..Default::default()
+                engine,
             };
             let scheme = hierarchical(&placement, &node_graph, &cfg);
             let s = Evaluator::new(t.app.clone(), placement).evaluate(&scheme);

@@ -1,0 +1,69 @@
+//! The scalable partition engines must not change results: `repro
+//! table2` at small scale must reproduce the committed snapshot CSVs
+//! byte-for-byte, for both `--partition-engine` values and regardless of
+//! thread count.
+//!
+//! The snapshots under `tests/snapshots/` were captured from the
+//! pre-heap quadratic engines; the heap CNM and the incremental-seeding
+//! multilevel partitioner are required to be drop-in equal, so any drift
+//! here means a semantic change to the clustering, not an optimisation.
+//! (The paper-scale guard lives in `bench_partition`'s fixture stage —
+//! the traced paper run is too slow for a debug-profile test.) Same
+//! spawn-the-real-binary pattern as `parallel_determinism.rs`: the
+//! compat rayon pool latches `RAYON_NUM_THREADS` once per process, so
+//! each configuration is a separate `repro` process.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_repro(out_dir: &Path, threads: &str, engine: &str) {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let status = Command::new(exe)
+        .args(["--scale", "small", "--partition-engine", engine, "--out"])
+        .arg(out_dir)
+        .arg("table2")
+        .env("RAYON_NUM_THREADS", threads)
+        .status()
+        .expect("spawn repro");
+    assert!(
+        status.success(),
+        "repro failed ({engine}, {threads} threads)"
+    );
+}
+
+fn temp_dir(label: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hcft-partition-det-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn check_engine(engine: &str) {
+    let snapshot_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("table2_small_{engine}.csv"));
+    let snapshot = std::fs::read_to_string(&snapshot_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", snapshot_path.display()));
+    for threads in ["1", "4"] {
+        let dir = temp_dir(&format!("{engine}-{threads}"));
+        run_repro(&dir, threads, engine);
+        let fresh = std::fs::read_to_string(dir.join("table2_clustering_comparison.csv"))
+            .expect("read fresh table2 CSV");
+        assert!(!fresh.is_empty(), "table2 CSV came out empty");
+        assert_eq!(
+            fresh, snapshot,
+            "table2 drifted from the committed snapshot \
+             (engine {engine}, RAYON_NUM_THREADS={threads})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn multilevel_engine_reproduces_snapshot() {
+    check_engine("multilevel");
+}
+
+#[test]
+fn modularity_engine_reproduces_snapshot() {
+    check_engine("modularity");
+}

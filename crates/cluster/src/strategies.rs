@@ -114,6 +114,25 @@ pub enum PartitionEngine {
     Modularity,
 }
 
+impl PartitionEngine {
+    /// Parse a CLI spelling (`multilevel` or `modularity`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "multilevel" => Some(PartitionEngine::Multilevel),
+            "modularity" => Some(PartitionEngine::Modularity),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling, inverse of [`PartitionEngine::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PartitionEngine::Multilevel => "multilevel",
+            PartitionEngine::Modularity => "modularity",
+        }
+    }
+}
+
 /// Configuration of the hierarchical strategy (§IV-B).
 #[derive(Clone, Debug)]
 pub struct HierarchicalConfig {

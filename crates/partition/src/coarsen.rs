@@ -9,6 +9,7 @@ use hcft_graph::{CsrGraph, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// One level of coarsening: the coarse graph plus the fine→coarse map.
 pub struct CoarseLevel {
@@ -22,29 +23,64 @@ pub struct CoarseLevel {
 /// with `seed` to avoid pathological orderings; ties break on heavier
 /// edges. Returns `None` when no edge can be matched (no coarsening
 /// progress possible).
+///
+/// The edge-rating phase — finding every vertex's heaviest neighbour —
+/// is embarrassingly parallel and runs under rayon; the greedy matching
+/// itself stays sequential in shuffled order and consults the
+/// precomputed rating first, falling back to an exact scan only when the
+/// rated neighbour was already taken. The fallback preserves the exact
+/// matching the fully sequential scan produced (same
+/// `(weight, Reverse(v))` key), so coarse graphs are bit-identical
+/// regardless of thread count — the same fixed-order determinism
+/// discipline as the sweep engine.
 pub fn coarsen_once(g: &WeightedGraph, seed: u64) -> Option<CoarseLevel> {
     let n = g.n();
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
+    // Parallel rating: heaviest neighbour of each vertex, ignoring
+    // matching state.
+    let rated: Vec<Option<u32>> = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            g.neighbors(u)
+                .iter()
+                .filter(|&&(v, _)| v as usize != u)
+                .max_by_key(|&&(v, w)| (w, std::cmp::Reverse(v)))
+                .map(|&(v, _)| v)
+        })
+        .collect();
     let mut mate = vec![usize::MAX; n];
     let mut matched_any = false;
+    let mut fallbacks = 0u64;
     for &u in &order {
         if mate[u] != usize::MAX {
             continue;
         }
-        // Heaviest unmatched neighbour.
-        let best = g
-            .neighbors(u)
-            .iter()
-            .filter(|&&(v, _)| mate[v as usize] == usize::MAX && v as usize != u)
-            .max_by_key(|&&(v, w)| (w, std::cmp::Reverse(v)));
-        if let Some(&(v, _)) = best {
+        // Heaviest unmatched neighbour: if the rated (unconditional)
+        // maximum is still unmatched it is also the unmatched maximum;
+        // otherwise rescan exactly.
+        let best = match rated[u] {
+            Some(v) if mate[v as usize] == usize::MAX => Some(v),
+            Some(_) => {
+                fallbacks += 1;
+                g.neighbors(u)
+                    .iter()
+                    .filter(|&&(v, _)| mate[v as usize] == usize::MAX && v as usize != u)
+                    .max_by_key(|&&(v, w)| (w, std::cmp::Reverse(v)))
+                    .map(|&(v, _)| v)
+            }
+            None => None,
+        };
+        if let Some(v) = best {
             mate[u] = v as usize;
             mate[v as usize] = u;
             matched_any = true;
         }
     }
+    hcft_telemetry::Registry::global()
+        .counter("partition.coarsen.match_fallbacks")
+        .add(fallbacks);
     if !matched_any {
         return None;
     }
@@ -102,6 +138,9 @@ pub fn coarsen_to(g: &WeightedGraph, target_n: usize, seed: u64) -> Vec<CoarseLe
         }
         round += 1;
     }
+    hcft_telemetry::Registry::global()
+        .gauge("partition.coarsen.levels")
+        .set(levels.len() as f64);
     levels
 }
 

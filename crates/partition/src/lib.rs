@@ -17,14 +17,16 @@
 
 pub mod coarsen;
 pub mod cost;
+pub mod gain;
 pub mod mapping;
 pub mod modularity;
 pub mod multilevel;
+pub mod reference;
 pub mod refine;
 
 pub use cost::{partition_cost, CostWeights};
 pub use mapping::{mapping_cost, topology_aware_map};
-pub use modularity::modularity_clusters;
+pub use modularity::{modularity_clusters, modularity_clusters_reference};
 pub use multilevel::{MultilevelConfig, MultilevelPartitioner};
 
 use hcft_graph::WeightedGraph;

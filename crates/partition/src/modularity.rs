@@ -7,8 +7,15 @@
 //! paper needs *every* L1 cluster to hold ≥ 4 nodes so that erasure
 //! groups can be distributed inside it).
 //!
-//! Complexity is O(n² · merges) in this straightforward implementation —
-//! ample for node graphs (the paper's largest is 64–128 nodes).
+//! Merge selection runs over a lazy-deletion max-heap of candidate pairs
+//! (ΔQ descending, lowest community pair on ties): each merge bumps the
+//! surviving community's stamp, invalidating every heap entry that
+//! referenced its old adjacency, and pushes fresh candidates for the
+//! merged row only. Amortised cost is O(m log n) over the whole
+//! agglomeration — the straight O(n² · merges) rescan this replaced is
+//! retained as [`modularity_clusters_reference`] and the two engines
+//! produce identical partitions (property-tested, and enforced as a
+//! benchmark gate by `bench_partition`).
 //!
 //! Community adjacency is kept as sorted `(community, weight)` rows
 //! seeded from the graph's [`CsrGraph`] form and merged by merge-join.
@@ -16,6 +23,8 @@
 //! tie-breaking canonical (lowest community pair wins); the previous
 //! `HashMap` rows iterated in randomized order, so ties could resolve
 //! differently between runs of the same input.
+
+use std::collections::{BTreeSet, BinaryHeap};
 
 use hcft_graph::{CsrGraph, WeightedGraph};
 
@@ -25,119 +34,298 @@ use crate::SizeBounds;
 /// ascending by community id, no duplicates.
 type LinkRow = Vec<(u32, f64)>;
 
-/// Agglomerate `g` into communities within `bounds` (by vertex weight).
-/// Returns the part assignment.
-pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> {
-    let n = g.n();
-    assert!(n > 0);
-    let csr = CsrGraph::from_graph(g);
-    let two_w: f64 = 2.0 * csr.total_edge_weight() as f64;
-    // Community state: `comm[u]` = current community of vertex u;
-    // communities tracked via representative ids.
-    let mut comm: Vec<usize> = (0..n).collect();
-    let mut weight: Vec<u64> = (0..n).map(|u| csr.vertex_weight(u)).collect();
-    // deg[c] = total weighted degree of community c (for ΔQ).
-    let mut deg: Vec<f64> = (0..n).map(|u| csr.degree(u) as f64).collect();
-    // links[c] = sorted (d, weight) rows between communities, seeded
-    // straight from the CSR rows (already sorted and duplicate-free).
-    let mut links: Vec<LinkRow> = (0..n)
-        .map(|u| {
-            let (nbrs, wgts) = csr.neighbors(u);
-            nbrs.iter()
-                .zip(wgts)
-                .map(|(&v, &w)| (v, w as f64))
-                .collect()
-        })
-        .collect();
-    let mut alive: Vec<bool> = vec![true; n];
+/// Mutable agglomeration state shared by both merge-selection engines.
+struct CnmState {
+    n: usize,
+    /// 2·(total edge weight), the ΔQ normaliser.
+    two_w: f64,
+    /// `comm[u]` = current community (representative id) of vertex u.
+    comm: Vec<usize>,
+    /// Total vertex weight per community.
+    weight: Vec<u64>,
+    /// Total weighted degree per community (for ΔQ).
+    deg: Vec<f64>,
+    /// Sorted `(d, weight)` rows between communities.
+    links: Vec<LinkRow>,
+    alive: Vec<bool>,
+}
 
-    let delta_q = |e_cd: f64, deg_c: f64, deg_d: f64| -> f64 {
-        if two_w == 0.0 {
+impl CnmState {
+    fn new(g: &WeightedGraph) -> Self {
+        let n = g.n();
+        assert!(n > 0);
+        let csr = CsrGraph::from_graph(g);
+        let two_w: f64 = 2.0 * csr.total_edge_weight() as f64;
+        let links: Vec<LinkRow> = (0..n)
+            .map(|u| {
+                let (nbrs, wgts) = csr.neighbors(u);
+                nbrs.iter()
+                    .zip(wgts)
+                    .map(|(&v, &w)| (v, w as f64))
+                    .collect()
+            })
+            .collect();
+        CnmState {
+            n,
+            two_w,
+            comm: (0..n).collect(),
+            weight: (0..n).map(|u| csr.vertex_weight(u)).collect(),
+            deg: (0..n).map(|u| csr.degree(u) as f64).collect(),
+            links,
+            alive: vec![true; n],
+        }
+    }
+
+    fn delta_q(&self, e_cd: f64, deg_c: f64, deg_d: f64) -> f64 {
+        if self.two_w == 0.0 {
             return 0.0;
         }
-        e_cd / two_w - (deg_c * deg_d) / (two_w * two_w / 2.0)
-    };
+        e_cd / self.two_w - (deg_c * deg_d) / (self.two_w * self.two_w / 2.0)
+    }
 
-    loop {
-        // Find the best feasible merge.
-        let mut best: Option<(f64, usize, usize)> = None;
-        for c in 0..n {
-            if !alive[c] {
+    /// Absorb `d` into `c` (requires `c < d` for canonical representatives
+    /// during agglomeration; the fold phase also honours this).
+    fn merge(&mut self, c: usize, d: usize) {
+        for x in self.comm.iter_mut() {
+            if *x == d {
+                *x = c;
+            }
+        }
+        self.weight[c] += self.weight[d];
+        self.deg[c] += self.deg[d];
+        self.alive[d] = false;
+        // Drop every back-reference to d, then fold d's row into c's via a
+        // merge-join of the two sorted rows (the internal c↔d edge and any
+        // self entry vanish in the join).
+        let d_links = std::mem::take(&mut self.links[d]);
+        for &(e, _) in &d_links {
+            remove_link(&mut self.links[e as usize], d as u32);
+        }
+        remove_link(&mut self.links[c], d as u32);
+        let c_links = std::mem::take(&mut self.links[c]);
+        let merged = merge_rows(&c_links, &d_links, c as u32, d as u32);
+        // Restore symmetry: every neighbour's view of c matches c's view.
+        for &(e, w) in &merged {
+            set_link(&mut self.links[e as usize], c as u32, w);
+        }
+        self.links[c] = merged;
+    }
+}
+
+/// Agglomerate `g` into communities within `bounds` (by vertex weight),
+/// selecting merges through the lazy-deletion candidate heap. Returns
+/// the part assignment.
+pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> {
+    let mut st = CnmState::new(g);
+    agglomerate_heap(&mut st, bounds);
+    fold_undersized(&mut st, bounds);
+    finish(g, &st, bounds)
+}
+
+/// The retained quadratic reference: rescans every candidate pair per
+/// merge, exactly as the original O(n² · merges) implementation did.
+/// Produces partitions identical to [`modularity_clusters`]; kept for
+/// the equivalence proptests and the `bench_partition` speedup gate.
+pub fn modularity_clusters_reference(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> {
+    let mut st = CnmState::new(g);
+    agglomerate_scan(&mut st, bounds);
+    fold_undersized(&mut st, bounds);
+    finish(g, &st, bounds)
+}
+
+/// A candidate merge in the lazy-deletion heap. Ordered by ΔQ descending
+/// with the *lowest* `(c, d)` pair winning ties — the same selection the
+/// reference scan makes by visiting pairs in ascending order and keeping
+/// strictly-better candidates only.
+struct Cand {
+    dq: f64,
+    c: u32,
+    d: u32,
+    stamp_c: u32,
+    stamp_d: u32,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // ΔQ values are finite by construction (ratios of finite sums).
+        self.dq
+            .partial_cmp(&other.dq)
+            .expect("finite ΔQ")
+            .then_with(|| (other.c, other.d).cmp(&(self.c, self.d)))
+    }
+}
+
+/// Heap-based merge selection: O(m log n) amortised. Stamps invalidate
+/// candidates lazily — a popped entry is applied only when both
+/// endpoints are alive and their stamps still match, which also pins the
+/// weights (and therefore the cap feasibility) checked at push time.
+/// Pairs over the weight cap are never pushed: community weights only
+/// grow, so an infeasible pair can never become feasible again.
+fn agglomerate_heap(st: &mut CnmState, bounds: SizeBounds) {
+    let n = st.n;
+    let mut stamp = vec![0u32; n];
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
+    let mut pushes = 0u64;
+    let mut pops = 0u64;
+    let mut stale = 0u64;
+    for c in 0..n {
+        for &(d, e_cd) in &st.links[c] {
+            let d = d as usize;
+            if d <= c || st.weight[c] + st.weight[d] > bounds.max_weight {
                 continue;
             }
-            for &(d, e_cd) in &links[c] {
+            let dq = st.delta_q(e_cd, st.deg[c], st.deg[d]);
+            if dq > 0.0 {
+                heap.push(Cand {
+                    dq,
+                    c: c as u32,
+                    d: d as u32,
+                    stamp_c: 0,
+                    stamp_d: 0,
+                });
+                pushes += 1;
+            }
+        }
+    }
+    while let Some(cand) = heap.pop() {
+        pops += 1;
+        let (c, d) = (cand.c as usize, cand.d as usize);
+        if !st.alive[c] || !st.alive[d] || stamp[c] != cand.stamp_c || stamp[d] != cand.stamp_d {
+            stale += 1;
+            continue;
+        }
+        st.merge(c, d);
+        stamp[c] = stamp[c].wrapping_add(1);
+        stamp[d] = stamp[d].wrapping_add(1);
+        // Only pairs touching c changed; push fresh candidates for the
+        // merged row. Everything else in the heap stays valid.
+        for &(e, e_ce) in &st.links[c] {
+            let e = e as usize;
+            if st.weight[c] + st.weight[e] > bounds.max_weight {
+                continue;
+            }
+            let dq = st.delta_q(e_ce, st.deg[c], st.deg[e]);
+            if dq > 0.0 {
+                let (a, b) = if c < e { (c, e) } else { (e, c) };
+                heap.push(Cand {
+                    dq,
+                    c: a as u32,
+                    d: b as u32,
+                    stamp_c: stamp[a],
+                    stamp_d: stamp[b],
+                });
+                pushes += 1;
+            }
+        }
+    }
+    let reg = hcft_telemetry::Registry::global();
+    reg.counter("partition.cnm.heap_pushes").add(pushes);
+    reg.counter("partition.cnm.heap_pops").add(pops);
+    reg.counter("partition.cnm.heap_stale_pops").add(stale);
+}
+
+/// Reference merge selection: full rescan of every feasible pair per
+/// merge (O(n² · merges) flavour — really O(L · merges) for L total link
+/// entries). Ties resolve to the first pair encountered in ascending
+/// `(c, d)` order, matching the heap's tie-break exactly.
+fn agglomerate_scan(st: &mut CnmState, bounds: SizeBounds) {
+    let n = st.n;
+    loop {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for c in 0..n {
+            if !st.alive[c] {
+                continue;
+            }
+            for &(d, e_cd) in &st.links[c] {
                 let d = d as usize;
-                if d <= c || !alive[d] {
+                if d <= c || !st.alive[d] {
                     continue;
                 }
-                if weight[c] + weight[d] > bounds.max_weight {
+                if st.weight[c] + st.weight[d] > bounds.max_weight {
                     continue;
                 }
-                let dq = delta_q(e_cd, deg[c], deg[d]);
+                let dq = st.delta_q(e_cd, st.deg[c], st.deg[d]);
                 if best.is_none_or(|(bq, _, _)| dq > bq) {
                     best = Some((dq, c, d));
                 }
             }
         }
         match best {
-            Some((dq, c, d)) if dq > 0.0 => merge(
-                c,
-                d,
-                &mut comm,
-                &mut weight,
-                &mut deg,
-                &mut links,
-                &mut alive,
-            ),
+            Some((dq, c, d)) if dq > 0.0 => st.merge(c, d),
             _ => break,
         }
     }
+}
 
-    // Enforce the minimum weight: fold undersized communities into their
-    // most-connected merge-able neighbour (or, failing that, the smallest
-    // community that fits).
-    while let Some(c) = (0..n).find(|&c| alive[c] && weight[c] < bounds.min_weight) {
-        let neighbour = links[c]
+/// Enforce the minimum weight: fold undersized communities into their
+/// most-connected merge-able neighbour (or, failing that, the smallest
+/// community that fits). Candidates are drained lowest-id first through
+/// an ordered set — identical order to the original restart-from-zero
+/// scan (merging never shrinks a community, so the only community that
+/// can need re-folding is the merge result itself), without the O(n)
+/// rescan per fold.
+fn fold_undersized(st: &mut CnmState, bounds: SizeBounds) {
+    let n = st.n;
+    let mut under: BTreeSet<usize> = (0..n)
+        .filter(|&c| st.alive[c] && st.weight[c] < bounds.min_weight)
+        .collect();
+    while let Some(&c) = under.iter().next() {
+        under.remove(&c);
+        if !st.alive[c] || st.weight[c] >= bounds.min_weight {
+            continue;
+        }
+        let neighbour = st.links[c]
             .iter()
             .filter(|&&(d, _)| {
                 let d = d as usize;
-                alive[d] && d != c && weight[c] + weight[d] <= bounds.max_weight
+                st.alive[d] && d != c && st.weight[c] + st.weight[d] <= bounds.max_weight
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
             .map(|&(d, _)| d as usize);
         let target = neighbour.or_else(|| {
             (0..n)
-                .filter(|&d| alive[d] && d != c && weight[c] + weight[d] <= bounds.max_weight)
-                .min_by_key(|&d| weight[d])
+                .filter(|&d| {
+                    st.alive[d] && d != c && st.weight[c] + st.weight[d] <= bounds.max_weight
+                })
+                .min_by_key(|&d| st.weight[d])
         });
         match target {
             Some(d) => {
                 let (a, b) = if c < d { (c, d) } else { (d, c) };
-                merge(
-                    a,
-                    b,
-                    &mut comm,
-                    &mut weight,
-                    &mut deg,
-                    &mut links,
-                    &mut alive,
-                );
+                st.merge(a, b);
+                if st.weight[a] < bounds.min_weight {
+                    under.insert(a);
+                }
             }
             None => break, // nothing can absorb it without breaking the cap
         }
     }
+}
 
-    // Compact to 0..k.
+/// Compact community ids to `0..k` and run the bound-repair passes.
+fn finish(g: &WeightedGraph, st: &CnmState, bounds: SizeBounds) -> Vec<usize> {
+    let n = st.n;
     let mut remap = vec![usize::MAX; n];
     let mut next = 0;
     let mut out = vec![0usize; n];
-    for u in 0..n {
-        let c = comm[u];
+    for (u, slot) in out.iter_mut().enumerate() {
+        let c = st.comm[u];
         if remap[c] == usize::MAX {
             remap[c] = next;
             next += 1;
         }
-        out[u] = remap[c];
+        *slot = remap[c];
     }
     // Agglomeration alone cannot always hit exact size bounds (folding a
     // 3-node community into a 4-node one would burst a tight cap); a
@@ -201,42 +389,6 @@ pub fn modularity_clusters(g: &WeightedGraph, bounds: SizeBounds) -> Vec<usize> 
         crate::refine::repair_bounds(g, &mut out, k, bounds);
     }
     out
-}
-
-#[allow(clippy::too_many_arguments)]
-fn merge(
-    c: usize,
-    d: usize,
-    comm: &mut [usize],
-    weight: &mut [u64],
-    deg: &mut [f64],
-    links: &mut [LinkRow],
-    alive: &mut [bool],
-) {
-    // Absorb d into c.
-    for x in comm.iter_mut() {
-        if *x == d {
-            *x = c;
-        }
-    }
-    weight[c] += weight[d];
-    deg[c] += deg[d];
-    alive[d] = false;
-    // Drop every back-reference to d, then fold d's row into c's via a
-    // merge-join of the two sorted rows (the internal c↔d edge and any
-    // self entry vanish in the join).
-    let d_links = std::mem::take(&mut links[d]);
-    for &(e, _) in &d_links {
-        remove_link(&mut links[e as usize], d as u32);
-    }
-    remove_link(&mut links[c], d as u32);
-    let c_links = std::mem::take(&mut links[c]);
-    let merged = merge_rows(&c_links, &d_links, c as u32, d as u32);
-    // Restore symmetry: every neighbour's view of c matches c's view.
-    for &(e, w) in &merged {
-        set_link(&mut links[e as usize], c as u32, w);
-    }
-    links[c] = merged;
 }
 
 /// Remove `key` from a sorted row, if present.
@@ -370,6 +522,21 @@ mod tests {
         // which also finds no links; everything stays singleton if min=1.
         let part = modularity_clusters(&g, SizeBounds::new(1, 4));
         assert_eq!(part, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn heap_and_reference_agree_on_planted_communities() {
+        for (c, s) in [(4usize, 5usize), (2, 4), (6, 3)] {
+            let g = clique_chain(c, s);
+            let s = s as u64;
+            for bounds in [SizeBounds::new(1, s), SizeBounds::new(2, 2 * s)] {
+                assert_eq!(
+                    modularity_clusters(&g, bounds),
+                    modularity_clusters_reference(&g, bounds),
+                    "engines diverged on clique_chain({c}, {s}) {bounds:?}"
+                );
+            }
+        }
     }
 }
 

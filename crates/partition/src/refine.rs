@@ -1,118 +1,272 @@
-//! Fiduccia–Mattheyses-style boundary refinement.
+//! Boundary refinement: gain-bucket moves plus Kernighan–Lin pair swaps.
 //!
-//! Greedy passes move boundary vertices to the neighbouring part with the
-//! largest cut-weight gain, subject to the size bounds. Moves with zero or
-//! negative gain are rejected, so each pass monotonically improves the cut
-//! and termination is guaranteed.
+//! Two phases alternate until neither improves the cut:
+//!
+//! * **Move phase** — Fiduccia–Mattheyses-style single-vertex moves,
+//!   driven best-first from integer [`crate::gain::GainBuckets`]
+//!   over the boundary. Only strictly-positive-gain moves that keep the
+//!   [`SizeBounds`] invariant are applied, so each phase monotonically
+//!   improves the cut and termination is guaranteed. Moves blocked by the
+//!   bounds are parked and retried after every applied move (weights
+//!   shift, so a blocked move can become legal).
+//! * **Swap phase** — pairwise exchanges of equal-weight boundary
+//!   vertices between adjacent parts. Swaps keep part weights unchanged,
+//!   so they work even under exactly tight bounds where single moves are
+//!   impossible. Instead of probing every boundary pair (the old
+//!   quadratic pass, hard-capped at 512 vertices), candidates are ranked
+//!   per adjacent part pair by their KL `D` values (external minus
+//!   internal connectivity) and only the top few per weight class are
+//!   combined — O(boundary · deg) per sweep, no size cap.
 
 use hcft_graph::{CsrGraph, WeightedGraph};
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::gain::GainBuckets;
 use crate::SizeBounds;
 
-/// One refinement pass. Returns the total gain achieved (reduction of the
-/// cut weight).
-pub fn refine_pass(
-    g: &WeightedGraph,
+/// Candidates per weight class and side combined exactly in the swap
+/// phase. Non-adjacent pairs compose from the per-side maxima, so a
+/// handful covers everything but adversarial all-adjacent tops.
+const SWAP_TOP_CANDIDATES: usize = 4;
+
+/// Best single move for `u`: the adjacent part with the largest
+/// connectivity (first-seen in neighbour order on ties — the historical
+/// tie-break) and the cut gain of moving there. `None` when `u` has no
+/// neighbour outside its own part. `scratch` avoids a per-call
+/// allocation; any contents are cleared.
+fn best_move(
+    csr: &CsrGraph,
+    part_of: &[usize],
+    u: usize,
+    scratch: &mut Vec<(usize, u64)>,
+) -> Option<(usize, i128)> {
+    let home = part_of[u];
+    let mut link_home = 0u64;
+    scratch.clear();
+    let (nbrs, wgts) = csr.neighbors(u);
+    for (&v, &w) in nbrs.iter().zip(wgts) {
+        let p = part_of[v as usize];
+        if p == home {
+            link_home += w;
+        } else {
+            match scratch.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, lw)) => *lw += w,
+                None => scratch.push((p, w)),
+            }
+        }
+    }
+    let mut best: Option<(usize, u64)> = None;
+    for &(p, lw) in scratch.iter() {
+        if best.is_none_or(|(_, bw)| lw > bw) {
+            best = Some((p, lw));
+        }
+    }
+    let (target, link_target) = best?;
+    Some((target, link_target as i128 - link_home as i128))
+}
+
+/// One gain-bucket move phase. Returns the total gain achieved
+/// (reduction of the cut weight).
+pub fn fm_move_phase(
+    csr: &CsrGraph,
     part_of: &mut [usize],
     part_weight: &mut [u64],
     bounds: SizeBounds,
 ) -> u64 {
+    let n = csr.n();
+    let mut buckets = GainBuckets::new(n);
+    let mut scratch: Vec<(usize, u64)> = Vec::new();
+    for u in 0..n {
+        if let Some((_, gain)) = best_move(csr, part_of, u, &mut scratch) {
+            if gain > 0 {
+                buckets.insert(u, gain);
+            }
+        }
+    }
+    let mut parked: Vec<u32> = Vec::new();
     let mut total_gain = 0u64;
-    for u in 0..g.n() {
-        let home = part_of[u];
-        // Connectivity of u to each adjacent part.
-        let mut link_home = 0u64;
-        let mut best: Option<(usize, u64)> = None;
-        let mut links: Vec<(usize, u64)> = Vec::new();
-        for &(v, w) in g.neighbors(u) {
-            let p = part_of[v as usize];
-            if p == home {
-                link_home += w;
-            } else {
-                match links.iter_mut().find(|(q, _)| *q == p) {
-                    Some((_, lw)) => *lw += w,
-                    None => links.push((p, w)),
-                }
-            }
-        }
-        for (p, lw) in links {
-            if best.is_none_or(|(_, bw)| lw > bw) {
-                best = Some((p, lw));
-            }
-        }
-        let Some((target, link_target)) = best else {
+    let mut applied = 0u64;
+    while let Some((u, cached)) = buckets.pop_best() {
+        let Some((target, gain)) = best_move(csr, part_of, u, &mut scratch) else {
             continue;
         };
-        if link_target <= link_home {
-            continue; // no positive gain
+        if gain <= 0 {
+            continue;
         }
-        let wu = g.vertex_weight(u);
+        if gain != cached {
+            // Stale entry: requeue at the accurate gain and re-rank.
+            buckets.insert(u, gain);
+            continue;
+        }
+        let wu = csr.vertex_weight(u);
+        let home = part_of[u];
         // Respect both bounds: the source must not fall below min, the
         // target must not exceed max.
         if part_weight[home] < bounds.min_weight + wu
             || part_weight[target] + wu > bounds.max_weight
         {
+            parked.push(u as u32);
             continue;
         }
         part_of[u] = target;
         part_weight[home] -= wu;
         part_weight[target] += wu;
-        total_gain += link_target - link_home;
-    }
-    total_gain
-}
-
-/// One pairwise-swap pass (Kernighan–Lin style): exchange equal-weight
-/// boundary vertices of adjacent parts when the swap reduces the cut.
-/// Swaps keep part weights unchanged, so they work even under exactly
-/// tight bounds where single moves are impossible. O(boundary²) — only
-/// used on graphs small enough for that to be cheap (node graphs).
-pub fn swap_pass(g: &CsrGraph, part_of: &mut [usize]) -> u64 {
-    let boundary: Vec<usize> = (0..g.n())
-        .filter(|&u| {
-            g.neighbors(u)
-                .0
-                .iter()
-                .any(|&v| part_of[v as usize] != part_of[u])
-        })
-        .collect();
-    let link = |u: usize, p: usize, part_of: &[usize]| -> u64 {
-        let (nbrs, wgts) = g.neighbors(u);
-        nbrs.iter()
-            .zip(wgts)
-            .filter(|&(&v, _)| part_of[v as usize] == p)
-            .map(|(_, &w)| w)
-            .sum()
-    };
-    let mut total_gain = 0u64;
-    for i in 0..boundary.len() {
-        for j in (i + 1)..boundary.len() {
-            let (u, v) = (boundary[i], boundary[j]);
-            let (pu, pv) = (part_of[u], part_of[v]);
-            if pu == pv || g.vertex_weight(u) != g.vertex_weight(v) {
-                continue;
+        total_gain += gain as u64;
+        applied += 1;
+        // Gains changed only for u and its neighbours; requeue them.
+        buckets.remove(u);
+        match best_move(csr, part_of, u, &mut scratch) {
+            Some((_, g)) if g > 0 => buckets.insert(u, g),
+            _ => {}
+        }
+        let (nbrs, _) = csr.neighbors(u);
+        for &v in nbrs {
+            let v = v as usize;
+            match best_move(csr, part_of, v, &mut scratch) {
+                Some((_, g)) if g > 0 => buckets.insert(v, g),
+                _ => buckets.remove(v),
             }
-            let gain_u = link(u, pv, part_of) as i128 - link(u, pu, part_of) as i128;
-            let gain_v = link(v, pu, part_of) as i128 - link(v, pv, part_of) as i128;
-            // Binary-search edge lookup: this O(boundary²) loop hits it
-            // on every candidate pair.
-            let gain = gain_u + gain_v - 2 * g.edge_weight(u, v) as i128;
-            if gain > 0 {
-                part_of[u] = pv;
-                part_of[v] = pu;
-                total_gain += gain as u64;
+        }
+        // The move shifted two part weights; parked vertices may fit now.
+        for v in std::mem::take(&mut parked) {
+            let v = v as usize;
+            if let Some((_, g)) = best_move(csr, part_of, v, &mut scratch) {
+                if g > 0 {
+                    buckets.insert(v, g);
+                }
             }
         }
     }
+    let reg = hcft_telemetry::Registry::global();
+    reg.counter("partition.fm.bucket_moves")
+        .add(buckets.moves());
+    reg.counter("partition.fm.moves").add(applied);
     total_gain
 }
 
-/// Largest graph on which the quadratic swap pass is attempted.
-const SWAP_PASS_LIMIT: usize = 512;
+/// KL `D` values of one side of a part pair: for each boundary vertex of
+/// `own`, `D = link(·, other) − link(·, own)`, grouped by vertex weight
+/// (swaps must preserve part weights) and truncated to the top
+/// candidates per class, ranked by `D` descending then vertex id.
+fn swap_side(
+    csr: &CsrGraph,
+    part_of: &[usize],
+    list: &[u32],
+    own: usize,
+    other: usize,
+) -> BTreeMap<u64, Vec<(i128, u32)>> {
+    let mut classes: BTreeMap<u64, Vec<(i128, u32)>> = BTreeMap::new();
+    for &u in list {
+        let u = u as usize;
+        if part_of[u] != own {
+            continue; // moved away by an earlier swap this sweep
+        }
+        let (nbrs, wgts) = csr.neighbors(u);
+        let (mut to_own, mut to_other) = (0u64, 0u64);
+        for (&v, &w) in nbrs.iter().zip(wgts) {
+            let p = part_of[v as usize];
+            if p == own {
+                to_own += w;
+            } else if p == other {
+                to_other += w;
+            }
+        }
+        classes
+            .entry(csr.vertex_weight(u))
+            .or_default()
+            .push((to_other as i128 - to_own as i128, u as u32));
+    }
+    for cands in classes.values_mut() {
+        cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        cands.truncate(SWAP_TOP_CANDIDATES);
+    }
+    classes
+}
 
-/// Run refinement passes until a pass yields no gain (at most
-/// `max_passes`). Falls back to pairwise swaps when single moves dry up,
-/// which matters under exactly tight bounds.
+/// Best positive swap between parts `p` and `q`, or `None`. The exact
+/// gain `D_u + D_v − 2·w(u, v)` is evaluated for every top-candidate
+/// combination of matching weight class; the first maximum in class /
+/// rank order wins ties (deterministic).
+fn best_swap(
+    csr: &CsrGraph,
+    part_of: &[usize],
+    p: usize,
+    q: usize,
+    boundary_of: &[Vec<u32>],
+) -> Option<(usize, usize, u64)> {
+    let side_p = swap_side(csr, part_of, &boundary_of[p], p, q);
+    if side_p.is_empty() {
+        return None;
+    }
+    let side_q = swap_side(csr, part_of, &boundary_of[q], q, p);
+    let mut best: Option<(i128, usize, usize)> = None;
+    for (w, cands_p) in &side_p {
+        let Some(cands_q) = side_q.get(w) else {
+            continue;
+        };
+        for &(du, u) in cands_p {
+            for &(dv, v) in cands_q {
+                let gain = du + dv - 2 * csr.edge_weight(u as usize, v as usize) as i128;
+                if gain > 0 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, u as usize, v as usize));
+                }
+            }
+        }
+    }
+    best.map(|(g, u, v)| (u, v, g as u64))
+}
+
+/// One swap phase: sweep every adjacent part pair, applying the best
+/// positive equal-weight swap per pair, until a full sweep applies
+/// nothing. Part weights are unchanged by construction. Returns the
+/// total gain.
+pub fn kl_swap_phase(csr: &CsrGraph, part_of: &mut [usize], k: usize) -> u64 {
+    let n = csr.n();
+    let mut total_gain = 0u64;
+    let mut swaps = 0u64;
+    loop {
+        // Boundary vertices per part and the adjacent part pairs, from
+        // the current assignment.
+        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut boundary_of: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for u in 0..n {
+            let pu = part_of[u];
+            let (nbrs, _) = csr.neighbors(u);
+            let mut cross = false;
+            for &v in nbrs {
+                let pv = part_of[v as usize];
+                if pv != pu {
+                    cross = true;
+                    pairs.insert((pu.min(pv), pu.max(pv)));
+                }
+            }
+            if cross {
+                boundary_of[pu].push(u as u32);
+            }
+        }
+        let mut applied = false;
+        for &(p, q) in &pairs {
+            if let Some((u, v, gain)) = best_swap(csr, part_of, p, q, &boundary_of) {
+                part_of[u] = q;
+                part_of[v] = p;
+                total_gain += gain;
+                swaps += 1;
+                applied = true;
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+    hcft_telemetry::Registry::global()
+        .counter("partition.fm.swaps")
+        .add(swaps);
+    total_gain
+}
+
+/// Run refinement rounds (move phase then swap phase) until a round
+/// yields no gain, at most `max_passes` rounds.
 pub fn refine(
     g: &WeightedGraph,
     part_of: &mut [usize],
@@ -120,14 +274,23 @@ pub fn refine(
     bounds: SizeBounds,
     max_passes: usize,
 ) {
-    // The swap pass probes pairwise edge weights; build the sorted-CSR
-    // view once for the whole refinement and binary-search it.
-    let csr = (g.n() <= SWAP_PASS_LIMIT).then(|| CsrGraph::from_graph(g));
+    let csr = CsrGraph::from_graph(g);
+    refine_csr(&csr, part_of, part_weight, bounds, max_passes);
+}
+
+/// [`refine`] over a pre-built CSR view (the multilevel driver reuses
+/// the one coarsening produced).
+pub fn refine_csr(
+    csr: &CsrGraph,
+    part_of: &mut [usize],
+    part_weight: &mut [u64],
+    bounds: SizeBounds,
+    max_passes: usize,
+) {
+    let k = part_weight.len();
     for _ in 0..max_passes {
-        let mut gain = refine_pass(g, part_of, part_weight, bounds);
-        if let Some(csr) = &csr {
-            gain += swap_pass(csr, part_of);
-        }
+        let mut gain = fm_move_phase(csr, part_of, part_weight, bounds);
+        gain += kl_swap_phase(csr, part_of, k);
         if gain == 0 {
             break;
         }
@@ -148,12 +311,19 @@ fn part_weights_for(g: &WeightedGraph, part: &[usize], k: usize) -> Vec<u64> {
 /// oscillate forever once coarsening produces mixed vertex weights under
 /// exactly tight bounds. Gives up (leaving the best assignment found)
 /// when no excess-reducing change exists.
+///
+/// A change only touches two part weights, so its effect on the total
+/// excess is computed in O(1) from those two terms, and a move can
+/// reduce the excess only by shrinking an over-max source or filling an
+/// under-min destination — candidate enumeration skips every other
+/// `(vertex, destination)` pair. Both shortcuts are exact (the skipped
+/// pairs provably cannot reduce the excess, and iteration order is
+/// unchanged), so the selected repair sequence is identical to the
+/// original recompute-everything scan — just not quadratic per
+/// candidate.
 pub fn repair_bounds(g: &WeightedGraph, part: &mut [usize], k: usize, b: SizeBounds) {
-    let excess = |w: &[u64]| -> u64 {
-        w.iter()
-            .map(|&x| x.saturating_sub(b.max_weight) + b.min_weight.saturating_sub(x))
-            .sum()
-    };
+    // Excess contribution of one part weight.
+    let ex = |w: u64| -> u64 { w.saturating_sub(b.max_weight) + b.min_weight.saturating_sub(w) };
     let affinity = |u: usize, p: usize, part: &[usize]| -> i128 {
         g.neighbors(u)
             .iter()
@@ -162,7 +332,7 @@ pub fn repair_bounds(g: &WeightedGraph, part: &mut [usize], k: usize, b: SizeBou
             .sum()
     };
     let mut weights = part_weights_for(g, part, k);
-    let mut e = excess(&weights);
+    let mut e: u64 = weights.iter().map(|&w| ex(w)).sum();
     while e > 0 {
         // Best single move: largest excess reduction, cut affinity as
         // the tie-break.
@@ -170,14 +340,17 @@ pub fn repair_bounds(g: &WeightedGraph, part: &mut [usize], k: usize, b: SizeBou
         for u in 0..g.n() {
             let src = part[u];
             let w = g.vertex_weight(u);
+            // Losing weight only reduces ex(src) when src is over-max;
+            // gaining only reduces ex(dst) when dst is under-min. If
+            // neither channel exists the move cannot reduce the excess.
+            let src_over = weights[src] > b.max_weight;
             for dst in 0..k {
-                if dst == src {
+                if dst == src || (!src_over && weights[dst] >= b.min_weight) {
                     continue;
                 }
-                let mut nw = weights.clone();
-                nw[src] -= w;
-                nw[dst] += w;
-                let ne = excess(&nw);
+                let ne = e - ex(weights[src]) - ex(weights[dst])
+                    + ex(weights[src] - w)
+                    + ex(weights[dst] + w);
                 if ne >= e {
                     continue;
                 }
@@ -209,10 +382,9 @@ pub fn repair_bounds(g: &WeightedGraph, part: &mut [usize], k: usize, b: SizeBou
                 if wu == wv {
                     continue; // no weight change
                 }
-                let mut nw = weights.clone();
-                nw[pu] = nw[pu] - wu + wv;
-                nw[pv] = nw[pv] - wv + wu;
-                let ne = excess(&nw);
+                let ne = e - ex(weights[pu]) - ex(weights[pv])
+                    + ex(weights[pu] - wu + wv)
+                    + ex(weights[pv] - wv + wu);
                 if ne < e && best_swap.is_none_or(|(_, _, be)| ne < be) {
                     best_swap = Some((u, v, ne));
                 }
@@ -258,13 +430,23 @@ mod tests {
         let mut part = vec![1, 0, 0, 0, 0, 1, 1, 1];
         let mut pw = vec![4u64, 4];
         let before = g.cut_weight(&part);
-        // Bounds must leave slack for single-vertex moves: with exactly
-        // tight bounds a pairwise swap can never be expressed as two legal
-        // single moves.
+        // Loose bounds let the move phase fix it with two single moves.
         refine(&g, &mut part, &mut pw, SizeBounds::new(3, 5), 8);
         let after = g.cut_weight(&part);
         assert!(after < before, "cut {before} -> {after}");
         assert_eq!(after, 1, "optimal split has cut 1");
+        assert_eq!(pw, vec![4, 4]);
+    }
+
+    #[test]
+    fn swap_phase_fixes_a_swapped_pair_under_tight_bounds() {
+        let g = squares();
+        let mut part = vec![1, 0, 0, 0, 0, 1, 1, 1];
+        let mut pw = vec![4u64, 4];
+        // Exactly tight bounds: single moves are impossible, only the
+        // swap phase can untangle the pair.
+        refine(&g, &mut part, &mut pw, SizeBounds::new(4, 4), 8);
+        assert_eq!(g.cut_weight(&part), 1, "optimal split has cut 1");
         assert_eq!(pw, vec![4, 4]);
     }
 
@@ -281,9 +463,20 @@ mod tests {
     #[test]
     fn gain_is_reported() {
         let g = squares();
+        let csr = CsrGraph::from_graph(&g);
         let mut part = vec![1, 0, 0, 0, 0, 1, 1, 1];
         let mut pw = vec![4u64, 4];
-        let gain = refine_pass(&g, &mut part, &mut pw, SizeBounds::new(3, 5));
+        let gain = fm_move_phase(&csr, &mut part, &mut pw, SizeBounds::new(3, 5));
         assert!(gain > 0);
+    }
+
+    #[test]
+    fn swap_gain_is_reported() {
+        let g = squares();
+        let csr = CsrGraph::from_graph(&g);
+        let mut part = vec![1, 0, 0, 0, 0, 1, 1, 1];
+        let gain = kl_swap_phase(&csr, &mut part, 2);
+        assert!(gain > 0);
+        assert_eq!(g.cut_weight(&part), 1);
     }
 }

@@ -14,9 +14,11 @@ pub mod layout;
 pub mod machine;
 pub mod network;
 pub mod placement;
+pub mod synthetic;
 
 pub use ids::{NodeId, Rank};
 pub use layout::{JobLayout, Role};
 pub use machine::{MachineSpec, NetworkSpec, StorageSpec};
 pub use network::NetworkTopology;
 pub use placement::{Placement, PlacementStrategy};
+pub use synthetic::SyntheticGraph;
