@@ -26,10 +26,18 @@ use crate::Level;
 
 /// Frame a checkpoint payload for shard storage: `[len u64 LE][data]`.
 fn frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + payload.len());
+    let mut out = Vec::new();
+    frame_into(payload, &mut out);
+    out
+}
+
+/// Frame into caller-owned scratch (cleared first) — the allocation-free
+/// checkpoint path.
+fn frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(8 + payload.len());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// Strip the frame, tolerating zero padding after the payload.
@@ -62,6 +70,9 @@ pub struct MultilevelCheckpointer {
     /// Pool of parity buffer sets handed to [`ReedSolomon::encode_into`],
     /// so steady-state checkpoint rounds stop allocating parity.
     parity_scratch: Mutex<Vec<Vec<Vec<u8>>>>,
+    /// Pool of frame buffers for local-shard writes, so steady-state
+    /// checkpoint rounds stop allocating the `[len][data]` frame too.
+    frame_scratch: Mutex<Vec<Vec<u8>>>,
     /// Metrics sink: bytes written per level, scratch-pool hit rate,
     /// per-group encode/verify wall time, rebuilt payload bytes.
     telemetry: Arc<Registry>,
@@ -105,6 +116,7 @@ impl MultilevelCheckpointer {
             placement,
             codes: Mutex::new(HashMap::new()),
             parity_scratch: Mutex::new(Vec::new()),
+            frame_scratch: Mutex::new(Vec::new()),
             telemetry,
         }
     }
@@ -161,6 +173,26 @@ impl MultilevelCheckpointer {
         self.parity_scratch.lock().expect("scratch lock").push(set);
     }
 
+    /// Borrow a frame buffer from the pool (allocating only on first use
+    /// or payload growth).
+    fn take_frame(&self) -> Vec<u8> {
+        match self.frame_scratch.lock().expect("frame lock").pop() {
+            Some(buf) => {
+                self.telemetry.counter("checkpoint.frame_pool.hits").inc();
+                buf
+            }
+            None => {
+                self.telemetry.counter("checkpoint.frame_pool.misses").inc();
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a frame buffer to the pool.
+    fn return_frame(&self, buf: Vec<u8>) {
+        self.frame_scratch.lock().expect("frame lock").push(buf);
+    }
+
     /// The encoding clustering.
     pub fn groups(&self) -> &Clustering {
         &self.groups
@@ -184,12 +216,17 @@ impl MultilevelCheckpointer {
     ) -> Result<(), HcftError> {
         assert_eq!(payloads.len(), self.groups.nprocs(), "one payload per rank");
         let mut local_bytes = 0u64;
+        let mut framed = self.take_frame();
         for (rank, payload) in payloads.iter().enumerate() {
             let node = self.placement.node_of(rank.into());
-            let framed = frame(payload);
+            frame_into(payload, &mut framed);
             local_bytes += framed.len() as u64;
-            self.store.write_local(node, rank, epoch, &framed)?;
+            if let Err(e) = self.store.write_local(node, rank, epoch, &framed) {
+                self.return_frame(framed);
+                return Err(e.into());
+            }
         }
+        self.return_frame(framed);
         self.telemetry
             .counter("checkpoint.bytes_written.local")
             .add(local_bytes);

@@ -72,6 +72,9 @@ pub struct LockstepDrill {
     epoch: u64,
     /// Per-rank payload size of the last coordinated checkpoint.
     last_ckpt_bytes: Vec<u64>,
+    /// Persistent per-rank serialisation buffers: after the first
+    /// checkpoint sizes them, later rounds serialise without allocating.
+    ckpt_scratch: Vec<Vec<u8>>,
     cfg: DrillConfig,
     telemetry: Arc<Registry>,
 }
@@ -122,6 +125,7 @@ impl LockstepDrill {
             ckpt_phase: 0,
             epoch: 0,
             last_ckpt_bytes: vec![0; n],
+            ckpt_scratch: vec![Vec::new(); n],
             cfg,
             telemetry,
         };
@@ -228,17 +232,15 @@ impl LockstepDrill {
     /// Take a coordinated multi-level (encoded) checkpoint now.
     pub fn checkpoint(&mut self) -> Result<(), HcftError> {
         let t0 = Instant::now();
-        let payloads: Vec<Vec<u8>> = self
-            .states
-            .iter()
-            .map(|s| s.as_ref().expect("alive").save_state())
-            .collect();
-        for (r, p) in payloads.iter().enumerate() {
+        for (s, buf) in self.states.iter().zip(self.ckpt_scratch.iter_mut()) {
+            s.as_ref().expect("alive").save_state_into(buf);
+        }
+        for (r, p) in self.ckpt_scratch.iter().enumerate() {
             self.last_ckpt_bytes[r] = p.len() as u64;
         }
         self.epoch += 1;
         self.ckpt
-            .checkpoint(self.epoch, self.cfg.level, &payloads)?;
+            .checkpoint(self.epoch, self.cfg.level, &self.ckpt_scratch)?;
         self.ckpt_phase = self.phase;
         self.ckpt.store().prune_before(self.epoch)?;
         // All clusters checkpoint together here, so pre-checkpoint log
@@ -315,7 +317,7 @@ impl LockstepDrill {
         for &r in &restart {
             restarting[r.idx()] = true;
             let mut st = RankState::new(&self.params, self.states.len(), r.idx());
-            st.restore_state(&payloads[r.idx()]);
+            st.restore_state(&payloads[r.idx()])?;
             debug_assert_eq!(st.iteration(), self.ckpt_phase);
             self.states[r.idx()] = Some(st);
         }

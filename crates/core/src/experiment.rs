@@ -350,11 +350,11 @@ fn run_app_rank(
             // FTI writes the checkpoint itself to node-local storage; the
             // MPI traffic to the node's encoder process is only the
             // notification carrying the checkpoint geometry (the light
-            // horizontal rows of Fig. 5b).
-            let state_len = sim.save_state().len() as u64;
-            let mut note = Vec::with_capacity(16);
-            note.extend_from_slice(&state_len.to_le_bytes());
-            note.extend_from_slice(&it.to_le_bytes());
+            // horizontal rows of Fig. 5b). `state_len` knows the payload
+            // size without serialising anything.
+            let mut note = [0u8; 16];
+            note[..8].copy_from_slice(&(sim.state_len() as u64).to_le_bytes());
+            note[8..].copy_from_slice(&it.to_le_bytes());
             world.send_bytes(encoder_world, TAG_CKPT_PUSH, &note);
         }
     }
@@ -385,6 +385,7 @@ fn run_encoder_rank(
         for &a in &app_world {
             let note = world.recv_bytes(a, TAG_CKPT_PUSH);
             node_bytes += u64::from_le_bytes(note[..8].try_into().expect("note"));
+            world.recycle(note);
         }
         // Distributed Reed–Solomon parity accumulation over one encoding
         // block per round: ring-pass around the group,
@@ -403,12 +404,24 @@ fn run_encoder_rank(
         let mut parity: Vec<u8> = (0..block)
             .map(|b| ((my_node * 131 + b * 7 + round as usize) % 251) as u8)
             .collect();
-        let mut travelling = parity.clone();
+        // Ring pass, zero-copy: the first step ships the local seed, every
+        // later step forwards the buffer received on the previous one (a
+        // refcount move, no copy), and the last received buffer goes back
+        // to the runtime pool.
+        let mut travelling = None;
         for step in 0..peers.len() - 1 {
-            enc_comm.send_bytes(next, TAG_PARITY + step as u32, &travelling);
-            travelling = enc_comm.recv_bytes(prev, TAG_PARITY + step as u32);
+            let tag = TAG_PARITY + step as u32;
+            match travelling.take() {
+                None => enc_comm.send_bytes(next, tag, &parity),
+                Some(b) => enc_comm.send_shared(next, tag, b),
+            }
+            let got = enc_comm.recv_bytes(prev, tag);
             // Accumulate with a non-trivial coefficient, as RS would.
-            hcft_erasure::gf256::mul_acc(&mut parity, &travelling, (step + 2) as u8);
+            hcft_erasure::gf256::mul_acc(&mut parity, &got, (step + 2) as u8);
+            travelling = Some(got);
+        }
+        if let Some(b) = travelling {
+            enc_comm.recycle(b);
         }
         std::hint::black_box(&parity);
     }

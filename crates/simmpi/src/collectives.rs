@@ -46,8 +46,9 @@ impl Comm {
         while dist < n {
             let to = (self.rank() + dist) % n;
             let from = (self.rank() + n - dist) % n;
-            self.send_raw(to, TAG_BARRIER | k, vec![0]);
-            self.recv_raw(from, TAG_BARRIER | k);
+            self.send_raw(to, TAG_BARRIER | k, self.pooled_from(&[0]));
+            let token = self.recv_raw(from, TAG_BARRIER | k);
+            self.recycle(token);
             dist <<= 1;
             k += 1;
         }
@@ -98,6 +99,7 @@ impl Comm {
             self.send_raw(partner, TAG_ALLGATHER | step, payload);
             let recv = self.recv_raw(partner, TAG_ALLGATHER | step);
             unpack_blocks(&recv, &mut have);
+            self.recycle(recv);
             dist <<= 1;
             step += 1;
         }
@@ -138,6 +140,7 @@ impl Comm {
                 held.push(recv[off..off + len].to_vec());
                 off += len;
             }
+            self.recycle(recv);
             dist <<= 1;
             step += 1;
         }
@@ -160,12 +163,13 @@ impl Comm {
         tally("allgather_ring", payload_bytes(mine));
         let n = self.size();
         let rank = self.rank();
-        let mut have: Vec<Option<Vec<u8>>> = vec![None; n];
-        have[rank] = Some(encode(mine));
+        let mut have: Vec<Option<bytes::Bytes>> = vec![None; n];
+        have[rank] = Some(self.encode_pooled(mine));
         let next = (rank + 1) % n;
         let prev = (rank + n - 1) % n;
         let mut cursor = rank;
         for step in 0..(n - 1) as u32 {
+            // Forwarding a held block is a refcount bump, not a copy.
             let payload = have[cursor].clone().expect("held block");
             self.send_raw(next, TAG_ALLGATHER | 0x8000 | step, payload);
             let recv = self.recv_raw(prev, TAG_ALLGATHER | 0x8000 | step);
@@ -300,12 +304,14 @@ impl Comm {
                 if src == root {
                     out.extend_from_slice(mine);
                 } else {
-                    out.extend(decode::<T>(&self.recv_raw(src, TAG_GATHER)));
+                    let b = self.recv_raw(src, TAG_GATHER);
+                    out.extend(decode::<T>(&b));
+                    self.recycle(b);
                 }
             }
             Some(out)
         } else {
-            self.send_raw(root, TAG_GATHER, encode(mine));
+            self.send_raw(root, TAG_GATHER, self.encode_pooled(mine));
             None
         }
     }
@@ -324,14 +330,16 @@ impl Comm {
                 if src == root {
                     continue;
                 }
-                let theirs = decode::<T>(&self.recv_raw(src, TAG_REDUCE));
+                let raw = self.recv_raw(src, TAG_REDUCE);
+                let theirs = decode::<T>(&raw);
+                self.recycle(raw);
                 for (a, b) in acc.iter_mut().zip(theirs) {
                     *a = op(*a, b);
                 }
             }
             Some(acc)
         } else {
-            self.send_raw(root, TAG_REDUCE, encode(mine));
+            self.send_raw(root, TAG_REDUCE, self.encode_pooled(mine));
             None
         }
     }
@@ -348,8 +356,14 @@ impl Comm {
         for step in 1..n {
             let to = (rank + step) % n;
             let from = (rank + n - step) % n;
-            self.send_raw(to, TAG_ALLTOALL | step as u32, encode(&sends[to]));
-            recvs[from] = decode(&self.recv_raw(from, TAG_ALLTOALL | step as u32));
+            self.send_raw(
+                to,
+                TAG_ALLTOALL | step as u32,
+                self.encode_pooled(&sends[to]),
+            );
+            let raw = self.recv_raw(from, TAG_ALLTOALL | step as u32);
+            recvs[from] = decode(&raw);
+            self.recycle(raw);
         }
         recvs
     }
@@ -388,13 +402,14 @@ impl Comm {
         tally("allgatherv", payload_bytes(mine));
         let n = self.size();
         let rank = self.rank();
-        let mut have: Vec<Option<Vec<u8>>> = vec![None; n];
-        have[rank] = Some(encode(mine));
+        let mut have: Vec<Option<bytes::Bytes>> = vec![None; n];
+        have[rank] = Some(self.encode_pooled(mine));
         if n > 1 {
             let next = (rank + 1) % n;
             let prev = (rank + n - 1) % n;
             let mut cursor = rank;
             for step in 0..(n - 1) as u32 {
+                // Refcount-bump forward, no copy.
                 let payload = have[cursor].clone().expect("held block");
                 self.send_raw(next, TAG_ALLGATHERV | step, payload);
                 let recv = self.recv_raw(prev, TAG_ALLGATHERV | step);

@@ -11,7 +11,9 @@ use std::cell::Cell;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::datatype::{decode, encode_into, Datum};
+use bytes::Bytes;
+
+use crate::datatype::{decode, decode_into, encode_into, Datum};
 use crate::runtime::Shared;
 use crate::trace::MessageEvent;
 
@@ -99,27 +101,64 @@ impl Comm {
 
     // ----- point to point ------------------------------------------------
 
-    /// Buffered (non-blocking semantics) send of raw bytes.
+    /// Buffered (non-blocking semantics) send of raw bytes. The bytes
+    /// are copied once into a pooled buffer; no further copies happen on
+    /// the way to the receiver.
     ///
     /// # Panics
     /// Panics on an out-of-range destination or a reserved tag.
     pub fn send_bytes(&self, dst: usize, tag: u32, bytes: &[u8]) {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
         let mut buf = self.shared.pool.checkout(bytes.len());
-        buf.extend_from_slice(bytes);
-        self.send_raw(dst, tag, buf);
+        buf.buf().extend_from_slice(bytes);
+        self.send_raw(dst, tag, buf.freeze());
     }
 
-    /// Blocking receive of raw bytes from `src` with `tag`.
-    pub fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
+    /// Zero-copy send of an already-refcounted payload: the mailbox gets
+    /// the `Bytes` by reference count, no bytes move. Clone the payload
+    /// first to fan it out to several destinations.
+    pub fn send_shared(&self, dst: usize, tag: u32, payload: Bytes) {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.send_raw(dst, tag, payload);
+    }
+
+    /// Blocking receive of raw bytes from `src` with `tag`. The returned
+    /// [`Bytes`] is the sender's buffer, not a copy; hand it back via
+    /// [`Comm::recycle`] when done to keep the pool warm.
+    pub fn recv_bytes(&self, src: usize, tag: u32) -> Bytes {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
         self.recv_raw(src, tag)
     }
 
-    /// Typed send: encodes `data` and ships it.
+    /// Typed send: encodes `data` into a pooled buffer and ships it.
     pub fn send_slice<T: Datum>(&self, dst: usize, tag: u32, data: &[T]) {
+        self.send_from(dst, tag, data);
+    }
+
+    /// Typed send from caller-owned storage (alias of [`Comm::send_slice`]
+    /// with the scratch-API name): encodes into a pooled buffer, so the
+    /// caller's slice is never retained and steady-state sends do not
+    /// allocate.
+    pub fn send_from<T: Datum>(&self, dst: usize, tag: u32, data: &[T]) {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
         self.send_raw(dst, tag, self.encode_pooled(data));
+    }
+
+    /// Scratch-free send: checks out a pooled buffer with `size_hint`
+    /// bytes reserved and lets `fill` serialise the payload straight into
+    /// it. Producers that can write their own wire bytes (e.g. strided
+    /// stencil edges) skip the intermediate staging copy entirely.
+    pub fn send_with(
+        &self,
+        dst: usize,
+        tag: u32,
+        size_hint: usize,
+        fill: impl FnOnce(&mut Vec<u8>),
+    ) {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        let mut buf = self.shared.pool.checkout(size_hint);
+        fill(buf.buf());
+        self.send_raw(dst, tag, buf.freeze());
     }
 
     /// Typed receive.
@@ -131,17 +170,38 @@ impl Comm {
         out
     }
 
-    /// Encode into a pooled buffer (the matching typed receive recycles
-    /// it on the other side).
-    pub(crate) fn encode_pooled<T: Datum>(&self, data: &[T]) -> Vec<u8> {
-        let mut buf = self.shared.pool.checkout(data.len() * T::WIDTH);
-        encode_into(data, &mut buf);
-        buf
+    /// Typed receive into caller-owned scratch: `out` is cleared and
+    /// refilled, so a loop reusing the same vector performs no heap
+    /// allocation once its capacity has converged. The transport buffer
+    /// is recycled into the pool.
+    pub fn recv_into<T: Datum>(&self, src: usize, tag: u32, out: &mut Vec<T>) {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        let raw = self.recv_raw(src, tag);
+        decode_into(&raw, out);
+        self.shared.pool.recycle(raw);
     }
 
-    /// Hand a spent payload buffer back to the world's pool.
-    pub(crate) fn recycle(&self, buf: Vec<u8>) {
-        self.shared.pool.recycle(buf);
+    /// Copy raw bytes into a pooled buffer (for collective-internal
+    /// payloads, so control messages stay allocation-free too).
+    pub(crate) fn pooled_from(&self, bytes: &[u8]) -> Bytes {
+        let mut buf = self.shared.pool.checkout(bytes.len());
+        buf.buf().extend_from_slice(bytes);
+        buf.freeze()
+    }
+
+    /// Encode into a pooled buffer (the matching typed receive recycles
+    /// it on the other side).
+    pub(crate) fn encode_pooled<T: Datum>(&self, data: &[T]) -> Bytes {
+        let mut buf = self.shared.pool.checkout(data.len() * T::WIDTH);
+        encode_into(data, buf.buf());
+        buf.freeze()
+    }
+
+    /// Hand a spent payload back to the world's pool. Payloads still
+    /// referenced elsewhere are dropped instead — recycling is always
+    /// safe, never required.
+    pub fn recycle(&self, payload: Bytes) {
+        self.shared.pool.recycle(payload);
     }
 
     /// Combined send+receive (safe under buffered sends; provided for
@@ -158,7 +218,8 @@ impl Comm {
         self.recv_vec(src, recv_tag)
     }
 
-    pub(crate) fn send_raw(&self, dst: usize, tag: u32, payload: Vec<u8>) {
+    pub(crate) fn send_raw(&self, dst: usize, tag: u32, payload: impl Into<Bytes>) {
+        let payload = payload.into();
         let size = self.size();
         assert!(dst < size, "dst {dst} out of range (size {size})");
         let dst_world = self.world_rank_of(dst);
@@ -174,7 +235,7 @@ impl Comm {
             .deliver(dst_world, (self.ctx, self.rank as u32, tag), payload);
     }
 
-    pub(crate) fn recv_raw(&self, src: usize, tag: u32) -> Vec<u8> {
+    pub(crate) fn recv_raw(&self, src: usize, tag: u32) -> Bytes {
         let size = self.size();
         assert!(src < size, "src {src} out of range (size {size})");
         self.shared

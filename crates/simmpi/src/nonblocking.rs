@@ -11,8 +11,10 @@
 //! unwaited `RecvRequest` panics — the moral equivalent of MPI's
 //! "pending request leaked" error.
 
+use bytes::Bytes;
+
 use crate::comm::Comm;
-use crate::datatype::{decode, Datum};
+use crate::datatype::{decode, decode_into, Datum};
 
 /// A pending receive posted with [`Comm::irecv`].
 #[must_use = "a posted receive must be waited on"]
@@ -24,8 +26,9 @@ pub struct RecvRequest<'a> {
 }
 
 impl<'a> RecvRequest<'a> {
-    /// Block until the message arrives and return its payload.
-    pub fn wait_bytes(mut self) -> Vec<u8> {
+    /// Block until the message arrives and return its payload (the
+    /// sender's refcounted buffer, not a copy).
+    pub fn wait_bytes(mut self) -> Bytes {
         self.done = true;
         self.comm.recv_bytes(self.src, self.tag)
     }
@@ -37,6 +40,17 @@ impl<'a> RecvRequest<'a> {
         let out = decode(&raw);
         self.comm.recycle(raw);
         out
+    }
+
+    /// Block until the message arrives and decode it into caller-owned
+    /// scratch (cleared first). The allocation-free counterpart of
+    /// [`RecvRequest::wait`]: the transport buffer goes back to the pool
+    /// and `out` reuses its capacity.
+    pub fn wait_into<T: Datum>(mut self, out: &mut Vec<T>) {
+        self.done = true;
+        let raw = self.comm.recv_bytes(self.src, self.tag);
+        decode_into(&raw, out);
+        self.comm.recycle(raw);
     }
 
     /// The posted source rank.

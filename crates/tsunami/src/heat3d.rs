@@ -9,6 +9,7 @@
 //! reference, like the 2-D one.
 
 use hcft_simmpi::Comm;
+use hcft_telemetry::HcftError;
 
 /// Parameters of a 3-D diffusion run.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,7 +50,7 @@ fn block(n: usize, parts: usize, idx: usize) -> (usize, usize) {
 }
 
 /// One rank's state: temperature with a one-cell halo on all six faces.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Heat3dState {
     p: Heat3dParams,
     /// This rank's process-grid coordinates.
@@ -59,7 +60,40 @@ pub struct Heat3dState {
     ln: (usize, usize, usize),
     /// Field with halo: (lnx+2)(lny+2)(lnz+2), x fastest.
     t: Vec<f64>,
+    /// Persistent double-buffer for [`Heat3dState::update`] — allocated
+    /// once, then swapped with `t` each step instead of cloning the
+    /// field per iteration. Pure scratch: not part of the logical state.
+    scratch: Vec<f64>,
     iter: u64,
+}
+
+/// Two states are equal when their logical fields (parameters,
+/// placement, interior temperature, iteration) agree. Halo cells and the
+/// scratch buffer are derived data — rewritten by the exchange/mirrors
+/// before every read — and are excluded.
+impl PartialEq for Heat3dState {
+    fn eq(&self, other: &Self) -> bool {
+        if !(self.p == other.p
+            && self.c == other.c
+            && self.lo == other.lo
+            && self.ln == other.ln
+            && self.iter == other.iter)
+        {
+            return false;
+        }
+        let (lnx, lny, lnz) = self.ln;
+        let sx = lnx + 2;
+        let sxy = sx * (lny + 2);
+        for k in 1..=lnz {
+            for j in 1..=lny {
+                let row = k * sxy + j * sx + 1;
+                if self.t[row..row + lnx] != other.t[row..row + lnx] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 /// The six halo faces.
@@ -131,12 +165,14 @@ impl Heat3dState {
                 }
             }
         }
+        let scratch = vec![0.0; t.len()];
         Heat3dState {
             p: p.clone(),
             c: (cx, cy, cz),
             lo: (x0, y0, z0),
             ln: (lnx, lny, lnz),
             t,
+            scratch,
             iter: 0,
         }
     }
@@ -174,38 +210,80 @@ impl Heat3dState {
 
     /// Extract the outgoing face plane.
     pub fn face_out(&self, f: Face) -> Vec<f64> {
-        let (lnx, lny, lnz) = self.ln;
         let mut out = Vec::new();
-        let pick = |out: &mut Vec<f64>, fix_dim: usize, fix: usize| match fix_dim {
-            0 => {
+        self.face_out_into(f, &mut out);
+        out
+    }
+
+    /// Extract the outgoing face plane into caller-owned scratch
+    /// (cleared first) — the allocation-free exchange path. The four
+    /// faces whose rows are x-contiguous copy whole slices; West/East
+    /// stay strided.
+    pub fn face_out_into(&self, f: Face, out: &mut Vec<f64>) {
+        let (lnx, lny, lnz) = self.ln;
+        let sx = lnx + 2;
+        let sxy = sx * (lny + 2);
+        out.clear();
+        match f {
+            Face::West | Face::East => {
+                let i = if f == Face::West { 1 } else { lnx };
+                out.reserve(lny * lnz);
                 for k in 1..=lnz {
                     for j in 1..=lny {
-                        out.push(self.t[self.idx(fix, j, k)]);
+                        out.push(self.t[k * sxy + j * sx + i]);
                     }
                 }
             }
-            1 => {
+            Face::North | Face::South => {
+                let j = if f == Face::North { 1 } else { lny };
+                out.reserve(lnx * lnz);
                 for k in 1..=lnz {
-                    for i in 1..=lnx {
-                        out.push(self.t[self.idx(i, fix, k)]);
-                    }
+                    let row = k * sxy + j * sx + 1;
+                    out.extend_from_slice(&self.t[row..row + lnx]);
                 }
             }
-            _ => {
+            Face::Down | Face::Up => {
+                let k = if f == Face::Down { 1 } else { lnz };
+                out.reserve(lnx * lny);
                 for j in 1..=lny {
-                    for i in 1..=lnx {
-                        out.push(self.t[self.idx(i, j, fix)]);
+                    let row = k * sxy + j * sx + 1;
+                    out.extend_from_slice(&self.t[row..row + lnx]);
+                }
+            }
+        }
+    }
+
+    /// Read back the halo plane currently installed on face `f`, in the
+    /// same order [`Heat3dState::set_halo`] consumes. Test/diagnostic
+    /// inverse of the exchange.
+    pub fn halo_in(&self, f: Face) -> Vec<f64> {
+        let (lnx, lny, lnz) = self.ln;
+        let sx = lnx + 2;
+        let sxy = sx * (lny + 2);
+        let mut out = Vec::new();
+        match f {
+            Face::West | Face::East => {
+                let i = if f == Face::West { 0 } else { lnx + 1 };
+                for k in 1..=lnz {
+                    for j in 1..=lny {
+                        out.push(self.t[k * sxy + j * sx + i]);
                     }
                 }
             }
-        };
-        match f {
-            Face::West => pick(&mut out, 0, 1),
-            Face::East => pick(&mut out, 0, lnx),
-            Face::North => pick(&mut out, 1, 1),
-            Face::South => pick(&mut out, 1, lny),
-            Face::Down => pick(&mut out, 2, 1),
-            Face::Up => pick(&mut out, 2, lnz),
+            Face::North | Face::South => {
+                let j = if f == Face::North { 0 } else { lny + 1 };
+                for k in 1..=lnz {
+                    let row = k * sxy + j * sx + 1;
+                    out.extend_from_slice(&self.t[row..row + lnx]);
+                }
+            }
+            Face::Down | Face::Up => {
+                let k = if f == Face::Down { 0 } else { lnz + 1 };
+                for j in 1..=lny {
+                    let row = k * sxy + j * sx + 1;
+                    out.extend_from_slice(&self.t[row..row + lnx]);
+                }
+            }
         }
         out
     }
@@ -222,33 +300,30 @@ impl Heat3dState {
             Face::Down | Face::Up => lnx * lny,
         };
         assert_eq!(vals.len(), expect, "halo plane size");
-        let mut it = vals.iter();
+        let sx = lnx + 2;
+        let sxy = sx * (lny + 2);
         match f {
             Face::West | Face::East => {
                 let i = if f == Face::West { 0 } else { lnx + 1 };
+                let mut it = vals.iter();
                 for k in 1..=lnz {
                     for j in 1..=lny {
-                        let idx = self.idx(i, j, k);
-                        self.t[idx] = *it.next().expect("sized above");
+                        self.t[k * sxy + j * sx + i] = *it.next().expect("sized above");
                     }
                 }
             }
             Face::North | Face::South => {
                 let j = if f == Face::North { 0 } else { lny + 1 };
-                for k in 1..=lnz {
-                    for i in 1..=lnx {
-                        let idx = self.idx(i, j, k);
-                        self.t[idx] = *it.next().expect("sized above");
-                    }
+                for (k, chunk) in (1..=lnz).zip(vals.chunks_exact(lnx)) {
+                    let row = k * sxy + j * sx + 1;
+                    self.t[row..row + lnx].copy_from_slice(chunk);
                 }
             }
             Face::Down | Face::Up => {
                 let k = if f == Face::Down { 0 } else { lnz + 1 };
-                for j in 1..=lny {
-                    for i in 1..=lnx {
-                        let idx = self.idx(i, j, k);
-                        self.t[idx] = *it.next().expect("sized above");
-                    }
+                for (j, chunk) in (1..=lny).zip(vals.chunks_exact(lnx)) {
+                    let row = k * sxy + j * sx + 1;
+                    self.t[row..row + lnx].copy_from_slice(chunk);
                 }
             }
         }
@@ -259,68 +334,86 @@ impl Heat3dState {
     /// boundary mirrors the interior cell.
     pub fn update(&mut self) {
         let (lnx, lny, lnz) = self.ln;
-        // Physical boundaries: mirror.
+        let sx = lnx + 2;
+        let sxy = sx * (lny + 2);
+        // Physical boundaries: mirror. A face is a domain boundary only
+        // on the first/last rank along its axis, so the predicates hoist
+        // out of the loops; x-mirrors are strided, y/z-mirrors copy
+        // whole x-rows.
         let (px, py, pz) = self.p.process_grid;
         let (cx, cy, cz) = self.c;
-        for k in 1..=lnz {
+        if cx == 0 {
+            for k in 1..=lnz {
+                for j in 1..=lny {
+                    let base = k * sxy + j * sx;
+                    self.t[base] = self.t[base + 1];
+                }
+            }
+        }
+        if cx + 1 == px {
+            for k in 1..=lnz {
+                for j in 1..=lny {
+                    let base = k * sxy + j * sx;
+                    self.t[base + lnx + 1] = self.t[base + lnx];
+                }
+            }
+        }
+        if cy == 0 {
+            for k in 1..=lnz {
+                let src = k * sxy + sx + 1;
+                self.t.copy_within(src..src + lnx, k * sxy + 1);
+            }
+        }
+        if cy + 1 == py {
+            for k in 1..=lnz {
+                let src = k * sxy + lny * sx + 1;
+                self.t
+                    .copy_within(src..src + lnx, k * sxy + (lny + 1) * sx + 1);
+            }
+        }
+        if cz == 0 {
             for j in 1..=lny {
-                if cx == 0 {
-                    let v = self.t[self.idx(1, j, k)];
-                    let idx = self.idx(0, j, k);
-                    self.t[idx] = v;
-                }
-                if cx + 1 == px {
-                    let v = self.t[self.idx(lnx, j, k)];
-                    let idx = self.idx(lnx + 1, j, k);
-                    self.t[idx] = v;
-                }
+                let src = sxy + j * sx + 1;
+                self.t.copy_within(src..src + lnx, j * sx + 1);
             }
         }
-        for k in 1..=lnz {
-            for i in 1..=lnx {
-                if cy == 0 {
-                    let v = self.t[self.idx(i, 1, k)];
-                    let idx = self.idx(i, 0, k);
-                    self.t[idx] = v;
-                }
-                if cy + 1 == py {
-                    let v = self.t[self.idx(i, lny, k)];
-                    let idx = self.idx(i, lny + 1, k);
-                    self.t[idx] = v;
-                }
+        if cz + 1 == pz {
+            for j in 1..=lny {
+                let src = lnz * sxy + j * sx + 1;
+                self.t
+                    .copy_within(src..src + lnx, (lnz + 1) * sxy + j * sx + 1);
             }
         }
-        for j in 1..=lny {
-            for i in 1..=lnx {
-                if cz == 0 {
-                    let v = self.t[self.idx(i, j, 1)];
-                    let idx = self.idx(i, j, 0);
-                    self.t[idx] = v;
-                }
-                if cz + 1 == pz {
-                    let v = self.t[self.idx(i, j, lnz)];
-                    let idx = self.idx(i, j, lnz + 1);
-                    self.t[idx] = v;
-                }
-            }
-        }
+        // Stencil sweep into the persistent double-buffer, then swap.
+        // Each interior x-row is processed as seven slices so the inner
+        // loop is bounds-check-free and auto-vectorizes; the operand
+        // order matches the original scalar loop bit-for-bit. Halo cells
+        // of `scratch` go stale across the swap, but every cell the
+        // stencil reads (the six face planes) is rewritten by
+        // `set_halo`/the mirrors before the next sweep, and corner/edge
+        // halo lines are never read by a seven-point stencil.
         let r = self.p.r;
-        let mut next = self.t.clone();
+        let t = &self.t;
+        let next = &mut self.scratch;
         for k in 1..=lnz {
             for j in 1..=lny {
-                for i in 1..=lnx {
-                    let c = self.t[self.idx(i, j, k)];
-                    let sum = self.t[self.idx(i - 1, j, k)]
-                        + self.t[self.idx(i + 1, j, k)]
-                        + self.t[self.idx(i, j - 1, k)]
-                        + self.t[self.idx(i, j + 1, k)]
-                        + self.t[self.idx(i, j, k - 1)]
-                        + self.t[self.idx(i, j, k + 1)];
-                    next[self.idx(i, j, k)] = c + r * (sum - 6.0 * c);
+                let base = k * sxy + j * sx + 1;
+                let cc = &t[base..base + lnx];
+                let cw = &t[base - 1..base - 1 + lnx];
+                let ce = &t[base + 1..base + 1 + lnx];
+                let cn = &t[base - sx..base - sx + lnx];
+                let cs = &t[base + sx..base + sx + lnx];
+                let cd = &t[base - sxy..base - sxy + lnx];
+                let cu = &t[base + sxy..base + sxy + lnx];
+                let out = &mut next[base..base + lnx];
+                for i in 0..lnx {
+                    let c = cc[i];
+                    let sum = cw[i] + ce[i] + cn[i] + cs[i] + cd[i] + cu[i];
+                    out[i] = c + r * (sum - 6.0 * c);
                 }
             }
         }
-        self.t = next;
+        std::mem::swap(&mut self.t, &mut self.scratch);
         self.iter += 1;
     }
 
@@ -342,6 +435,79 @@ impl Heat3dState {
     pub fn offsets(&self) -> (usize, usize, usize) {
         self.lo
     }
+
+    /// Exact checkpoint payload size, without serialising anything.
+    pub fn state_len(&self) -> usize {
+        let (lnx, lny, lnz) = self.ln;
+        8 * (2 + lnx * lny * lnz)
+    }
+
+    /// Serialise the checkpoint payload: iteration count plus the
+    /// interior field. Halos are derived data (rebuilt by the exchange
+    /// and the boundary mirrors before the next sweep) and are not
+    /// stored.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.save_state_into(&mut out);
+        out
+    }
+
+    /// Serialise into caller-owned scratch (cleared first) — the
+    /// allocation-free checkpoint path.
+    pub fn save_state_into(&self, out: &mut Vec<u8>) {
+        let (lnx, lny, lnz) = self.ln;
+        let sx = lnx + 2;
+        let sxy = sx * (lny + 2);
+        out.clear();
+        out.reserve(self.state_len());
+        out.extend_from_slice(&self.iter.to_le_bytes());
+        out.extend_from_slice(&((lnx * lny * lnz) as u64).to_le_bytes());
+        for k in 1..=lnz {
+            for j in 1..=lny {
+                let row = k * sxy + j * sx + 1;
+                for v in &self.t[row..row + lnx] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Restore a payload written by [`Heat3dState::save_state`] for a
+    /// state of the same shape. Corrupt or truncated bytes are reported
+    /// as [`HcftError::Recovery`] and leave the state untouched.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), HcftError> {
+        let (lnx, lny, lnz) = self.ln;
+        if bytes.len() != self.state_len() {
+            return Err(HcftError::Recovery(format!(
+                "heat3d checkpoint is {} bytes, expected {}",
+                bytes.len(),
+                self.state_len()
+            )));
+        }
+        let cells = u64::from_le_bytes(bytes[8..16].try_into().expect("sized above")) as usize;
+        if cells != lnx * lny * lnz {
+            return Err(HcftError::Recovery(format!(
+                "heat3d checkpoint holds {} cells, state has {}",
+                cells,
+                lnx * lny * lnz
+            )));
+        }
+        self.iter = u64::from_le_bytes(bytes[..8].try_into().expect("sized above"));
+        let sx = lnx + 2;
+        let sxy = sx * (lny + 2);
+        let mut src = bytes[16..].chunks_exact(8);
+        for k in 1..=lnz {
+            for j in 1..=lny {
+                let row = k * sxy + j * sx + 1;
+                for dst in &mut self.t[row..row + lnx] {
+                    *dst = f64::from_le_bytes(
+                        src.next().expect("sized above").try_into().expect("8-byte"),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 const TAG_FACE_BASE: u32 = 40;
@@ -362,22 +528,27 @@ fn face_tag(f: Face) -> u32 {
 /// final local field.
 pub fn run_heat3d(comm: &Comm, p: &Heat3dParams, iters: u64) -> Heat3dState {
     let mut st = Heat3dState::new(p, comm.size(), comm.rank());
+    // Persistent exchange scratch: after the first iteration sizes them,
+    // the loop body performs no heap allocation.
+    let mut face = Vec::new();
+    let mut halo = Vec::new();
     for _ in 0..iters {
         comm.set_phase(st.iteration());
-        let mut pending = Vec::new();
-        for f in Face::ALL {
+        let mut pending: [Option<(Face, hcft_simmpi::RecvRequest<'_>)>; 6] = Default::default();
+        for (slot, f) in pending.iter_mut().zip(Face::ALL) {
             if let Some(nbr) = st.neighbor(f) {
-                pending.push((f, comm.irecv(nbr, face_tag(f.opposite()))));
+                *slot = Some((f, comm.irecv(nbr, face_tag(f.opposite()))));
             }
         }
         for f in Face::ALL {
             if let Some(nbr) = st.neighbor(f) {
-                comm.isend(nbr, face_tag(f), &st.face_out(f));
+                st.face_out_into(f, &mut face);
+                comm.send_from(nbr, face_tag(f), &face);
             }
         }
-        for (f, req) in pending {
-            let vals = req.wait::<f64>();
-            st.set_halo(f, &vals);
+        for (f, req) in pending.into_iter().flatten() {
+            req.wait_into(&mut halo);
+            st.set_halo(f, &halo);
         }
         st.update();
     }
@@ -465,6 +636,72 @@ mod tests {
                 m.entries().any(|(s, d, _)| s.abs_diff(d) == dist),
                 "missing distance {dist}"
             );
+        }
+    }
+
+    #[test]
+    fn save_restore_replays_bitwise() {
+        let p = Heat3dParams::stable((10, 6, 4), (1, 1, 1));
+        let mut st = Heat3dState::new(&p, 1, 0);
+        for _ in 0..7 {
+            st.update();
+        }
+        let snap = st.save_state();
+        let mut straight = st.clone();
+        straight.update();
+        st.update();
+        st.restore_state(&snap).expect("restore");
+        assert_eq!(st.iteration(), 7);
+        st.update();
+        assert_eq!(st, straight, "replay must be bit-identical");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_panic() {
+        let p = Heat3dParams::stable((8, 8, 8), (1, 1, 1));
+        let mut st = Heat3dState::new(&p, 1, 0);
+        st.update();
+        let before = st.clone();
+        let snap = st.save_state();
+
+        // Truncated payload.
+        let err = st.restore_state(&snap[..snap.len() - 1]).unwrap_err();
+        assert!(matches!(err, HcftError::Recovery(_)), "got {err:?}");
+        assert_eq!(st, before, "failed restore must not mutate state");
+
+        // Shape mismatch: claim a different cell count.
+        let mut bad = snap.clone();
+        bad[8] ^= 0x01;
+        let err = st.restore_state(&bad).unwrap_err();
+        assert!(matches!(err, HcftError::Recovery(_)), "got {err:?}");
+        assert_eq!(st, before, "failed restore must not mutate state");
+    }
+
+    #[test]
+    fn face_out_into_reuses_capacity() {
+        let p = Heat3dParams::stable((8, 6, 4), (1, 1, 1));
+        let st = Heat3dState::new(&p, 1, 0);
+        let mut buf = Vec::new();
+        st.face_out_into(Face::Up, &mut buf);
+        assert_eq!(buf, st.face_out(Face::Up));
+        let ptr = buf.as_ptr();
+        for f in Face::ALL {
+            st.face_out_into(f, &mut buf);
+            assert_eq!(buf, st.face_out(f), "{f:?}");
+        }
+        assert_eq!(buf.as_ptr(), ptr, "scratch must not reallocate");
+    }
+
+    #[test]
+    fn halo_in_reads_back_installed_planes() {
+        let p = Heat3dParams::stable((9, 7, 5), (1, 1, 1));
+        let mut st = Heat3dState::new(&p, 1, 0);
+        for (n, f) in Face::ALL.into_iter().enumerate() {
+            let plane: Vec<f64> = (0..st.face_out(f).len())
+                .map(|i| (n * 1000 + i) as f64)
+                .collect();
+            st.set_halo(f, &plane);
+            assert_eq!(st.halo_in(f), plane, "{f:?}");
         }
     }
 

@@ -8,6 +8,8 @@
 //! "recovered state equals uninterrupted state **bit-for-bit**" a
 //! meaningful assertion across drivers.
 
+use hcft_telemetry::HcftError;
+
 use crate::decomp::CartDecomp;
 use crate::params::{TsunamiParams, GRAVITY};
 
@@ -40,11 +42,23 @@ impl Dir {
 }
 
 /// One rank's solver state (η with halo, face velocities, iteration).
+///
+/// West/east halo columns live in dense side arrays rather than embedded
+/// in the η rows: narrow tiles (the paper's 512×2 decomposition has
+/// two-element rows) would otherwise spend half of η's footprint on halo
+/// cells, and installing a received west/east halo would scatter one
+/// store into every cache line of η. With side columns a halo install is
+/// a contiguous copy and the stencil streams a dense η.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankState {
     d: CartDecomp,
-    /// η with halo: (lnx+2) × (lny+2), row-major.
+    /// η interior plus north/south halo rows: lnx × (lny+2), row-major
+    /// (row 0 is the north halo, row lny+1 the south halo).
     eta: Vec<f64>,
+    /// West halo column of η, dense: lny values.
+    halo_w: Vec<f64>,
+    /// East halo column of η, dense: lny values.
+    halo_e: Vec<f64>,
     /// u on x faces: (lnx+1) × lny.
     u: Vec<f64>,
     /// v on y faces: lnx × (lny+1).
@@ -63,15 +77,17 @@ impl RankState {
             }
             None => CartDecomp::new(params.nx, params.ny, nprocs, rank),
         };
-        let mut eta = vec![0.0; (d.lnx + 2) * (d.lny + 2)];
+        let mut eta = vec![0.0; d.lnx * (d.lny + 2)];
         for j in 0..d.lny {
             for i in 0..d.lnx {
-                eta[(j + 1) * (d.lnx + 2) + i + 1] = params.initial_eta(d.x0 + i, d.y0 + j);
+                eta[(j + 1) * d.lnx + i] = params.initial_eta(d.x0 + i, d.y0 + j);
             }
         }
         RankState {
             u: vec![0.0; (d.lnx + 1) * d.lny],
             v: vec![0.0; d.lnx * (d.lny + 1)],
+            halo_w: vec![0.0; d.lny],
+            halo_e: vec![0.0; d.lny],
             eta,
             d,
             iter: 0,
@@ -98,19 +114,42 @@ impl RankState {
         }
     }
 
-    #[inline]
-    fn eidx(&self, i: usize, j: usize) -> usize {
-        (j + 1) * (self.d.lnx + 2) + i + 1
-    }
-
     /// The interior edge to ship towards `dir`.
     pub fn edge_out(&self, dir: Dir) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.edge_out_into(dir, &mut out);
+        out
+    }
+
+    /// Extract the edge towards `dir` into caller-owned scratch (cleared
+    /// first): the allocation-free form the solver loop uses. North/south
+    /// edges are contiguous rows and copy as slices; west/east gather a
+    /// strided column.
+    pub fn edge_out_into(&self, dir: Dir, out: &mut Vec<f64>) {
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        out.clear();
+        // West/east gathers walk eta rows with `chunks_exact` rather than
+        // computing `(j + 1) * lnx` per element: the iterator is a pointer
+        // bump and the in-row index check hoists out of the loop.
+        let rows = self.eta[lnx..].chunks_exact(lnx).take(lny);
+        match dir {
+            Dir::West => out.extend(rows.map(|row| row[0])),
+            Dir::East => out.extend(rows.map(|row| row[lnx - 1])),
+            Dir::North => out.extend_from_slice(&self.eta[lnx..2 * lnx]),
+            Dir::South => out.extend_from_slice(&self.eta[lny * lnx..(lny + 1) * lnx]),
+        }
+    }
+
+    /// The currently installed halo values on the `dir` side — the
+    /// inverse probe of [`RankState::set_halo`], used by the halo
+    /// roundtrip property tests and recovery verification.
+    pub fn halo_in(&self, dir: Dir) -> Vec<f64> {
         let (lnx, lny) = (self.d.lnx, self.d.lny);
         match dir {
-            Dir::West => (0..lny).map(|j| self.eta[self.eidx(0, j)]).collect(),
-            Dir::East => (0..lny).map(|j| self.eta[self.eidx(lnx - 1, j)]).collect(),
-            Dir::North => (0..lnx).map(|i| self.eta[self.eidx(i, 0)]).collect(),
-            Dir::South => (0..lnx).map(|i| self.eta[self.eidx(i, lny - 1)]).collect(),
+            Dir::West => self.halo_w.clone(),
+            Dir::East => self.halo_e.clone(),
+            Dir::North => self.eta[..lnx].to_vec(),
+            Dir::South => self.eta[(lny + 1) * lnx..].to_vec(),
         }
     }
 
@@ -123,123 +162,336 @@ impl RankState {
         match dir {
             Dir::West => {
                 assert_eq!(vals.len(), lny, "west halo length");
-                for (j, &x) in vals.iter().enumerate() {
-                    self.eta[(j + 1) * (lnx + 2)] = x;
-                }
+                self.halo_w.copy_from_slice(vals);
             }
             Dir::East => {
                 assert_eq!(vals.len(), lny, "east halo length");
-                for (j, &x) in vals.iter().enumerate() {
-                    self.eta[(j + 1) * (lnx + 2) + lnx + 1] = x;
-                }
+                self.halo_e.copy_from_slice(vals);
             }
             Dir::North => {
                 assert_eq!(vals.len(), lnx, "north halo length");
-                for (i, &x) in vals.iter().enumerate() {
-                    self.eta[i + 1] = x;
-                }
+                self.eta[..lnx].copy_from_slice(vals);
             }
             Dir::South => {
                 assert_eq!(vals.len(), lnx, "south halo length");
-                for (i, &x) in vals.iter().enumerate() {
-                    self.eta[(lny + 1) * (lnx + 2) + i + 1] = x;
+                let base = (lny + 1) * lnx;
+                self.eta[base..base + lnx].copy_from_slice(vals);
+            }
+        }
+    }
+
+    /// Serialise the edge towards `dir` straight to its wire form
+    /// (little-endian f64), skipping the f64 staging hop: the solver
+    /// fills the pooled message buffer with this, so an outgoing edge is
+    /// copied exactly once, η → message.
+    pub fn edge_out_bytes(&self, dir: Dir, out: &mut Vec<u8>) {
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        out.clear();
+        let n = match dir {
+            Dir::West | Dir::East => lny,
+            Dir::North | Dir::South => lnx,
+        };
+        out.resize(n * 8, 0);
+        let cells = out.chunks_exact_mut(8);
+        let rows = self.eta[lnx..].chunks_exact(lnx);
+        match dir {
+            Dir::West => {
+                for (dst, row) in cells.zip(rows) {
+                    dst.copy_from_slice(&row[0].to_le_bytes());
+                }
+            }
+            Dir::East => {
+                for (dst, row) in cells.zip(rows) {
+                    dst.copy_from_slice(&row[lnx - 1].to_le_bytes());
+                }
+            }
+            Dir::North => {
+                for (dst, &x) in cells.zip(&self.eta[lnx..2 * lnx]) {
+                    dst.copy_from_slice(&x.to_le_bytes());
+                }
+            }
+            Dir::South => {
+                for (dst, &x) in cells.zip(&self.eta[lny * lnx..(lny + 1) * lnx]) {
+                    dst.copy_from_slice(&x.to_le_bytes());
                 }
             }
         }
     }
 
+    /// Install a halo received in wire form — the inverse of
+    /// [`RankState::edge_out_bytes`]: message bytes land in η directly,
+    /// no f64 staging vector in between.
+    ///
+    /// # Panics
+    /// Panics on a wrong edge length.
+    pub fn set_halo_bytes(&mut self, dir: Dir, bytes: &[u8]) {
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let f = |c: &[u8]| f64::from_le_bytes(c.try_into().expect("f64 cell"));
+        let cells = bytes.chunks_exact(8);
+        let dst: &mut [f64] = match dir {
+            Dir::West => {
+                assert_eq!(bytes.len(), lny * 8, "west halo length");
+                &mut self.halo_w
+            }
+            Dir::East => {
+                assert_eq!(bytes.len(), lny * 8, "east halo length");
+                &mut self.halo_e
+            }
+            Dir::North => {
+                assert_eq!(bytes.len(), lnx * 8, "north halo length");
+                &mut self.eta[..lnx]
+            }
+            Dir::South => {
+                assert_eq!(bytes.len(), lnx * 8, "south halo length");
+                &mut self.eta[(lny + 1) * lnx..]
+            }
+        };
+        for (d, c) in dst.iter_mut().zip(cells) {
+            *d = f(c);
+        }
+    }
+
     /// Advance one step. Halos for this step must already be installed.
+    ///
+    /// Two loop orders compute the identical per-element arithmetic —
+    /// field updates have no intra-field dependencies, so element order
+    /// cannot change a single bit: `parallel_matches_sequential_bitwise`
+    /// and the drill's recovered-equals-uninterrupted tests assert bit
+    /// identity across both. Wide tiles sweep x-rows as runtime-width
+    /// slices; narrow tiles — e.g. the paper's 512×2 decomposition,
+    /// whose x-rows are two elements long — dispatch to a const-width
+    /// sweep whose tiny inner loops fully unroll.
     pub fn update(&mut self, p: &TsunamiParams) {
+        match self.d.lnx {
+            1 => self.update_tile::<1>(p),
+            2 => self.update_tile::<2>(p),
+            3 => self.update_tile::<3>(p),
+            4 => self.update_tile::<4>(p),
+            _ => self.update_rows(p),
+        }
+        self.iter += 1;
+    }
+
+    /// Row-sliced sweep for wide tiles: the domain-boundary predicates
+    /// hoist out of the loops (a face is a global boundary only on the
+    /// first or last rank along its axis), so the per-element body is a
+    /// pure load/FMA/store stream the compiler auto-vectorizes.
+    fn update_rows(&mut self, p: &TsunamiParams) {
         let (lnx, lny) = (self.d.lnx, self.d.lny);
         let gdt = GRAVITY * p.dt / p.dx;
+        // u on x faces: face i at global x0+i is a closed boundary only
+        // at the domain's west (i == 0 on the first column of ranks) or
+        // east (i == lnx on the last) wall; the interior faces 1..lnx-1
+        // read η pairs from the dense row, the two end faces read the
+        // side halo columns.
+        let w_closed = self.d.x0 == 0;
+        let e_closed = self.d.x0 + lnx == p.nx;
         for j in 0..lny {
-            for i in 0..=lnx {
-                let global_face = self.d.x0 + i;
-                let idx = j * (lnx + 1) + i;
-                if global_face == 0 || global_face == p.nx {
-                    self.u[idx] = 0.0;
-                } else {
-                    let e_left = self.eta[(j + 1) * (lnx + 2) + i];
-                    let e_right = self.eta[(j + 1) * (lnx + 2) + i + 1];
-                    self.u[idx] -= gdt * (e_right - e_left);
-                }
+            let u_row = &mut self.u[j * (lnx + 1)..(j + 1) * (lnx + 1)];
+            let e_row = &self.eta[(j + 1) * lnx..(j + 2) * lnx];
+            if w_closed {
+                u_row[0] = 0.0;
+            } else {
+                u_row[0] -= gdt * (e_row[0] - self.halo_w[j]);
+            }
+            for (i, u) in u_row[1..lnx].iter_mut().enumerate() {
+                *u -= gdt * (e_row[i + 1] - e_row[i]);
+            }
+            if e_closed {
+                u_row[lnx] = 0.0;
+            } else {
+                u_row[lnx] -= gdt * (self.halo_e[j] - e_row[lnx - 1]);
             }
         }
+        // v on y faces: whole rows are boundary (at the domain's north or
+        // south wall) or whole rows are interior.
+        let n_closed = self.d.y0 == 0;
+        let s_closed = self.d.y0 + lny == p.ny;
         for j in 0..=lny {
-            let global_face = self.d.y0 + j;
-            for i in 0..lnx {
-                let idx = j * lnx + i;
-                if global_face == 0 || global_face == p.ny {
-                    self.v[idx] = 0.0;
-                } else {
-                    let e_lo = self.eta[j * (lnx + 2) + i + 1];
-                    let e_hi = self.eta[(j + 1) * (lnx + 2) + i + 1];
-                    self.v[idx] -= gdt * (e_hi - e_lo);
+            let v_row = &mut self.v[j * lnx..(j + 1) * lnx];
+            if (j == 0 && n_closed) || (j == lny && s_closed) {
+                v_row.fill(0.0);
+            } else {
+                let e_lo = &self.eta[j * lnx..(j + 1) * lnx];
+                let e_hi = &self.eta[(j + 1) * lnx..(j + 2) * lnx];
+                for (i, v) in v_row.iter_mut().enumerate() {
+                    *v -= gdt * (e_hi[i] - e_lo[i]);
                 }
             }
         }
         let ddt = p.depth * p.dt / p.dx;
         for j in 0..lny {
-            for i in 0..lnx {
-                let du = self.u[j * (lnx + 1) + i + 1] - self.u[j * (lnx + 1) + i];
-                let dv = self.v[(j + 1) * lnx + i] - self.v[j * lnx + i];
-                let idx = self.eidx(i, j);
-                self.eta[idx] -= ddt * (du + dv);
+            let u_row = &self.u[j * (lnx + 1)..(j + 1) * (lnx + 1)];
+            let v_lo = &self.v[j * lnx..(j + 1) * lnx];
+            let v_hi = &self.v[(j + 1) * lnx..(j + 2) * lnx];
+            let e_row = &mut self.eta[(j + 1) * lnx..(j + 2) * lnx];
+            for (i, e) in e_row.iter_mut().enumerate() {
+                let du = u_row[i + 1] - u_row[i];
+                let dv = v_hi[i] - v_lo[i];
+                *e -= ddt * (du + dv);
             }
         }
-        self.iter += 1;
+    }
+
+    /// Compile-time-width sweep for narrow tiles (the paper's 512×2
+    /// decomposition has two-element x-rows). Rows advance through
+    /// `chunks_exact` iterators — no per-row slice arithmetic — and with
+    /// `LNX` const the two/three-element inner loops fully unroll, so the
+    /// sweep is a straight-line load/FMA/store stream per row. Same
+    /// element arithmetic and operand order as [`RankState::update_rows`].
+    fn update_tile<const LNX: usize>(&mut self, p: &TsunamiParams) {
+        debug_assert_eq!(self.d.lnx, LNX);
+        let lny = self.d.lny;
+        let su = LNX + 1;
+        let gdt = GRAVITY * p.dt / p.dx;
+        let w_closed = self.d.x0 == 0;
+        let e_closed = self.d.x0 + LNX == p.nx;
+        for (((u_row, e_row), &hw), &he) in self
+            .u
+            .chunks_exact_mut(su)
+            .zip(self.eta[LNX..].chunks_exact(LNX))
+            .zip(&self.halo_w)
+            .zip(&self.halo_e)
+        {
+            if w_closed {
+                u_row[0] = 0.0;
+            } else {
+                u_row[0] -= gdt * (e_row[0] - hw);
+            }
+            for i in 1..LNX {
+                u_row[i] -= gdt * (e_row[i] - e_row[i - 1]);
+            }
+            if e_closed {
+                u_row[LNX] = 0.0;
+            } else {
+                u_row[LNX] -= gdt * (he - e_row[LNX - 1]);
+            }
+        }
+        let n_closed = self.d.y0 == 0;
+        let s_closed = self.d.y0 + lny == p.ny;
+        for (j, ((v_row, e_lo), e_hi)) in self
+            .v
+            .chunks_exact_mut(LNX)
+            .zip(self.eta.chunks_exact(LNX))
+            .zip(self.eta[LNX..].chunks_exact(LNX))
+            .enumerate()
+        {
+            if (j == 0 && n_closed) || (j == lny && s_closed) {
+                v_row.fill(0.0);
+            } else {
+                for i in 0..LNX {
+                    v_row[i] -= gdt * (e_hi[i] - e_lo[i]);
+                }
+            }
+        }
+        let ddt = p.depth * p.dt / p.dx;
+        let Self { eta, u, v, .. } = self;
+        for (((e_row, u_row), v_lo), v_hi) in eta[LNX..]
+            .chunks_exact_mut(LNX)
+            .zip(u.chunks_exact(su))
+            .zip(v.chunks_exact(LNX))
+            .zip(v[LNX..].chunks_exact(LNX))
+        {
+            for i in 0..LNX {
+                let du = u_row[i + 1] - u_row[i];
+                let dv = v_hi[i] - v_lo[i];
+                e_row[i] -= ddt * (du + dv);
+            }
+        }
     }
 
     /// Interior η, row-major `lnx × lny`.
     pub fn local_eta(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.d.lnx * self.d.lny);
-        for j in 0..self.d.lny {
-            for i in 0..self.d.lnx {
-                out.push(self.eta[self.eidx(i, j)]);
-            }
-        }
-        out
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        self.eta[lnx..(lny + 1) * lnx].to_vec()
+    }
+
+    /// Exact byte length [`RankState::save_state`] produces — lets
+    /// callers size checkpoint plans without serialising anything.
+    pub fn state_len(&self) -> usize {
+        8 * (6
+            + self.eta.len()
+            + self.halo_w.len()
+            + self.halo_e.len()
+            + self.u.len()
+            + self.v.len())
     }
 
     /// Serialise the full state (η, u, v, iteration).
     pub fn save_state(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 * (4 + self.eta.len() + self.u.len() + self.v.len()));
-        out.extend_from_slice(&self.iter.to_le_bytes());
-        for field in [&self.eta, &self.u, &self.v] {
-            out.extend_from_slice(&(field.len() as u64).to_le_bytes());
-            for x in field.iter() {
-                out.extend_from_slice(&x.to_le_bytes());
-            }
-        }
+        let mut out = Vec::new();
+        self.save_state_into(&mut out);
         out
     }
 
-    /// Restore state saved by [`RankState::save_state`].
-    ///
-    /// # Panics
-    /// Panics if the buffer does not match this rank's field shapes.
-    pub fn restore_state(&mut self, bytes: &[u8]) {
-        fn take_u64(bytes: &[u8], off: &mut usize) -> u64 {
-            let v = u64::from_le_bytes(bytes[*off..*off + 8].try_into().expect("u64"));
-            *off += 8;
-            v
-        }
-        let mut off = 0usize;
-        self.iter = take_u64(bytes, &mut off);
-        for field_idx in 0..3 {
-            let len = take_u64(bytes, &mut off) as usize;
-            let field = match field_idx {
-                0 => &mut self.eta,
-                1 => &mut self.u,
-                _ => &mut self.v,
-            };
-            assert_eq!(len, field.len(), "checkpoint shape mismatch");
-            for x in field.iter_mut() {
-                *x = f64::from_le_bytes(bytes[off..off + 8].try_into().expect("f64"));
-                off += 8;
+    /// Serialise into caller-owned scratch (cleared first). A checkpoint
+    /// loop reusing the same buffer stops allocating once its capacity
+    /// has converged to [`RankState::state_len`].
+    pub fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.state_len());
+        out.extend_from_slice(&self.iter.to_le_bytes());
+        for field in [&self.eta, &self.halo_w, &self.halo_e, &self.u, &self.v] {
+            out.extend_from_slice(&(field.len() as u64).to_le_bytes());
+            let start = out.len();
+            out.resize(start + 8 * field.len(), 0);
+            for (dst, x) in out[start..].chunks_exact_mut(8).zip(field.iter()) {
+                dst.copy_from_slice(&x.to_le_bytes());
             }
         }
-        assert_eq!(off, bytes.len(), "trailing bytes in checkpoint");
+    }
+
+    /// Restore state saved by [`RankState::save_state`]. Truncated,
+    /// oversized or shape-mismatched buffers — e.g. a corrupted
+    /// checkpoint surviving erasure decode — are reported as
+    /// [`HcftError::Recovery`], leaving `self` unchanged.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), HcftError> {
+        if bytes.len() != self.state_len() {
+            return Err(HcftError::Recovery(format!(
+                "checkpoint is {} bytes, rank state needs {}",
+                bytes.len(),
+                self.state_len()
+            )));
+        }
+        let mut off = 0usize;
+        let take_u64 = |off: &mut usize| {
+            let v = u64::from_le_bytes(bytes[*off..*off + 8].try_into().expect("length checked"));
+            *off += 8;
+            v
+        };
+        let iter = take_u64(&mut off);
+        for (name, want) in [
+            ("eta", self.eta.len()),
+            ("halo_w", self.halo_w.len()),
+            ("halo_e", self.halo_e.len()),
+            ("u", self.u.len()),
+            ("v", self.v.len()),
+        ] {
+            let len = take_u64(&mut off) as usize;
+            if len != want {
+                return Err(HcftError::Recovery(format!(
+                    "checkpoint field {name} has {len} elements, rank state needs {want}"
+                )));
+            }
+            off += 8 * len;
+        }
+        // Shapes verified; now commit.
+        self.iter = iter;
+        let mut off = 16usize;
+        for field in [
+            &mut self.eta,
+            &mut self.halo_w,
+            &mut self.halo_e,
+            &mut self.u,
+            &mut self.v,
+        ] {
+            for x in field.iter_mut() {
+                *x = f64::from_le_bytes(bytes[off..off + 8].try_into().expect("length checked"));
+                off += 8;
+            }
+            off += 8; // the next field's length header
+        }
+        Ok(())
     }
 }
 
@@ -257,7 +509,7 @@ mod tests {
         assert_eq!(edge.len(), a.decomp().lny);
         b.set_halo(Dir::West, &edge);
         // b's west halo column now equals a's east interior column.
-        assert_eq!(b.eta[b.d.lnx + 2], edge[0]);
+        assert_eq!(b.halo_w[0], edge[0]);
     }
 
     #[test]
@@ -276,9 +528,95 @@ mod tests {
         }
         let snapshot = s.save_state();
         let mut t = RankState::new(&p, 4, 2);
-        t.restore_state(&snapshot);
+        t.restore_state(&snapshot).expect("restore");
         assert_eq!(s, t);
         assert_eq!(t.iteration(), 3);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_an_error_not_a_panic() {
+        let p = TsunamiParams::stable(16, 16);
+        let mut s = RankState::new(&p, 4, 1);
+        let snapshot = s.save_state();
+        let before = s.clone();
+        let err = s.restore_state(&snapshot[..snapshot.len() - 1]);
+        assert!(matches!(err, Err(HcftError::Recovery(_))), "{err:?}");
+        let err = s.restore_state(&[]);
+        assert!(matches!(err, Err(HcftError::Recovery(_))), "{err:?}");
+        // A failed restore must leave the state untouched.
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn shape_mismatched_checkpoint_is_an_error() {
+        let p = TsunamiParams::stable(16, 16);
+        let mut s = RankState::new(&p, 4, 1);
+        let mut snapshot = s.save_state();
+        // Corrupt the eta length header (bytes 8..16) while keeping the
+        // total length right.
+        snapshot[8] ^= 0xFF;
+        let err = s.restore_state(&snapshot);
+        assert!(matches!(err, Err(HcftError::Recovery(_))), "{err:?}");
+    }
+
+    #[test]
+    fn edge_out_into_reuses_capacity() {
+        let p = TsunamiParams::stable(8, 4);
+        let s = RankState::new(&p, 2, 0);
+        let mut scratch = Vec::new();
+        s.edge_out_into(Dir::East, &mut scratch);
+        assert_eq!(scratch, s.edge_out(Dir::East));
+        let ptr = scratch.as_ptr();
+        s.edge_out_into(Dir::West, &mut scratch);
+        assert_eq!(
+            scratch.as_ptr(),
+            ptr,
+            "same-size refill must not reallocate"
+        );
+        assert_eq!(scratch, s.edge_out(Dir::West));
+    }
+
+    #[test]
+    fn byte_edges_match_typed_edges() {
+        let p = TsunamiParams::stable(8, 6);
+        let mut s = RankState::new(&p, 4, 1);
+        s.update(&p);
+        let mut bytes = Vec::new();
+        for dir in Dir::ALL {
+            s.edge_out_bytes(dir, &mut bytes);
+            let decoded: Vec<f64> = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            assert_eq!(decoded, s.edge_out(dir), "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn set_halo_bytes_matches_set_halo() {
+        let p = TsunamiParams::stable(8, 6);
+        let mut a = RankState::new(&p, 4, 1);
+        let mut b = a.clone();
+        for dir in Dir::ALL {
+            let n = match dir {
+                Dir::West | Dir::East => a.decomp().lny,
+                Dir::North | Dir::South => a.decomp().lnx,
+            };
+            let vals: Vec<f64> = (0..n).map(|i| i as f64 * 1.25 - 3.0).collect();
+            let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+            a.set_halo(dir, &vals);
+            b.set_halo_bytes(dir, &bytes);
+        }
+        assert_eq!(a, b, "byte and typed halo installs must agree");
+    }
+
+    #[test]
+    fn halo_in_reads_back_installed_halos() {
+        let p = TsunamiParams::stable(8, 4);
+        let mut s = RankState::new(&p, 2, 1);
+        let vals: Vec<f64> = (0..s.decomp().lny).map(|j| j as f64 + 0.5).collect();
+        s.set_halo(Dir::West, &vals);
+        assert_eq!(s.halo_in(Dir::West), vals);
     }
 
     #[test]

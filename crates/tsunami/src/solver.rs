@@ -6,6 +6,8 @@
 //! update. η is the only field needing a halo, so each iteration costs
 //! one message per neighbour — the double-diagonal pattern of Fig. 5b.
 
+use hcft_telemetry::HcftError;
+
 use hcft_simmpi::Comm;
 
 use crate::decomp::CartDecomp;
@@ -57,26 +59,39 @@ impl<'a> TsunamiSim<'a> {
 
     /// Advance one time step (halo exchange + kernel update). The
     /// exchange uses the canonical nonblocking MPI pattern: post all
-    /// receives, send all edges, wait on everything.
+    /// receives, send all edges, wait on everything. Edges are serialised
+    /// straight into pooled message buffers and halos installed straight
+    /// from the received payloads — each η edge is copied exactly once in
+    /// each direction, with no staging vector and no steady-state heap
+    /// allocation (`runtime.alloc.msg_buffers` stays flat).
     pub fn step(&mut self) {
         self.comm.set_phase(self.state.iteration());
         // Post receives first (a message travelling `dir.opposite()`
         // lands on our `dir` side).
-        let mut pending: Vec<(Dir, hcft_simmpi::RecvRequest<'_>)> = Vec::with_capacity(4);
-        for dir in Dir::ALL {
+        let mut pending: [Option<(Dir, hcft_simmpi::RecvRequest<'_>)>; 4] = Default::default();
+        for (slot, dir) in pending.iter_mut().zip(Dir::ALL) {
             if let Some(nbr) = self.state.neighbor(dir) {
-                pending.push((dir, self.comm.irecv(nbr, halo_tag(dir.opposite()))));
+                *slot = Some((dir, self.comm.irecv(nbr, halo_tag(dir.opposite()))));
             }
         }
+        let d = self.state.decomp();
+        let (lnx, lny) = (d.lnx, d.lny);
         for dir in Dir::ALL {
             if let Some(nbr) = self.state.neighbor(dir) {
-                self.comm
-                    .isend(nbr, halo_tag(dir), &self.state.edge_out(dir));
+                let edge_bytes = 8 * match dir {
+                    Dir::West | Dir::East => lny,
+                    Dir::North | Dir::South => lnx,
+                };
+                let state = &self.state;
+                self.comm.send_with(nbr, halo_tag(dir), edge_bytes, |buf| {
+                    state.edge_out_bytes(dir, buf)
+                });
             }
         }
-        for (dir, req) in pending {
-            let vals = req.wait::<f64>();
-            self.state.set_halo(dir, &vals);
+        for (dir, req) in pending.into_iter().flatten() {
+            let raw = req.wait_bytes();
+            self.state.set_halo_bytes(dir, &raw);
+            self.comm.recycle(raw);
         }
         self.state.update(&self.params);
     }
@@ -129,14 +144,26 @@ impl<'a> TsunamiSim<'a> {
         }
     }
 
+    /// Exact checkpoint payload size, without serialising anything.
+    pub fn state_len(&self) -> usize {
+        self.state.state_len()
+    }
+
     /// Serialise the full solver state (the checkpoint payload).
     pub fn save_state(&self) -> Vec<u8> {
         self.state.save_state()
     }
 
-    /// Restore state saved by [`TsunamiSim::save_state`].
-    pub fn restore_state(&mut self, bytes: &[u8]) {
-        self.state.restore_state(bytes);
+    /// Serialise the solver state into caller-owned scratch (cleared
+    /// first) — the allocation-free checkpoint path.
+    pub fn save_state_into(&self, out: &mut Vec<u8>) {
+        self.state.save_state_into(out);
+    }
+
+    /// Restore state saved by [`TsunamiSim::save_state`]. Corrupt or
+    /// truncated bytes are reported, not fatal.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), HcftError> {
+        self.state.restore_state(bytes)
     }
 }
 
@@ -186,7 +213,7 @@ mod tests {
             let snap = sim.save_state();
             sim.run(10);
             let straight = sim.local_eta();
-            sim.restore_state(&snap);
+            sim.restore_state(&snap).expect("restore");
             assert_eq!(sim.iteration(), 10);
             sim.run(10);
             (straight, sim.local_eta())
