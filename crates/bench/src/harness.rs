@@ -43,6 +43,8 @@ impl Scale {
                 encoder_group_nodes: 4,
                 record_events: false,
                 mailbox_shards: 0,
+                workers: 0,
+                engine: hcft_simmpi::Engine::Auto,
             },
         }
     }

@@ -19,7 +19,7 @@ use hcft_cluster::{
     registry_with, ClusteringScheme, Evaluator, FourDScore, HierarchicalConfig, StrategyContext,
 };
 use hcft_graph::{CommMatrix, WeightedGraph};
-use hcft_simmpi::{World, WorldConfig};
+use hcft_simmpi::{Engine, World, WorldConfig};
 use hcft_telemetry::HcftError;
 use hcft_topology::{JobLayout, Role};
 use hcft_tsunami::{TsunamiParams, TsunamiSim};
@@ -61,6 +61,15 @@ pub struct TracedJobConfig {
     /// pipeline bench pins this to compare the sharded runtime against
     /// the single-shard baseline within one process.
     pub mailbox_shards: usize,
+    /// Worker threads for the simmpi task engine (0 = runtime default:
+    /// `HCFT_SIMMPI_WORKERS`, else the core count). The scheduler smoke
+    /// job pins this to exercise multi-worker interleavings.
+    pub workers: usize,
+    /// Execution engine for the rank bodies. [`Engine::Auto`] (the
+    /// default) picks the task scheduler where supported; the
+    /// determinism suite pins [`Engine::Threads`] to prove both engines
+    /// trace identical bytes.
+    pub engine: Engine,
 }
 
 impl TracedJobConfig {
@@ -144,6 +153,8 @@ impl TracedJobConfigBuilder {
                 encoder_group_nodes: 4.min(nodes.max(1)),
                 record_events: false,
                 mailbox_shards: 0,
+                workers: 0,
+                engine: Engine::Auto,
             },
             explicit_grid: false,
         }
@@ -208,6 +219,18 @@ impl TracedJobConfigBuilder {
         self
     }
 
+    /// Pin the task-engine worker count (0 = runtime default).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Pin the execution engine (default [`Engine::Auto`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<TracedJobConfig, HcftError> {
         let c = &self.cfg;
@@ -260,8 +283,23 @@ pub struct TraceResult {
     pub app_events: Vec<Vec<hcft_msglog::MsgEvent>>,
 }
 
-/// Run the instrumented job and return its communication matrices.
-pub fn run_traced_job(cfg: &TracedJobConfig) -> TraceResult {
+/// The raw outcome of a traced world run: the layout plus the live
+/// trace recorder, before any dense matrix is materialised. At
+/// full-TSUBAME2 scale (23 936 ranks) each dense [`CommMatrix`] costs
+/// ~4.6 GB, so the scale benches consume the recorder directly; the
+/// figure pipeline goes through [`run_traced_job`], which projects the
+/// matrices it needs.
+pub struct TracedWorld {
+    /// The job layout (global rank numbering).
+    pub layout: JobLayout,
+    /// The solver's process grid (px, py) in application-rank space.
+    pub process_grid: (usize, usize),
+    /// The shared trace recorder with every traced send.
+    pub trace: Arc<hcft_simmpi::TraceRecorder>,
+}
+
+/// Run the instrumented job and return the raw trace recorder.
+pub fn run_traced_world(cfg: &TracedJobConfig) -> TracedWorld {
     let layout = cfg.layout();
     let total = layout.total_ranks();
     let cfg = Arc::new(cfg.clone());
@@ -270,6 +308,8 @@ pub fn run_traced_job(cfg: &TracedJobConfig) -> TraceResult {
         recv_timeout: std::time::Duration::from_secs(300),
         trace_events: cfg.record_events,
         mailbox_shards: cfg.mailbox_shards,
+        workers: cfg.workers,
+        engine: cfg.engine,
         ..WorldConfig::default()
     };
     let cfg2 = Arc::clone(&cfg);
@@ -293,14 +333,27 @@ pub fn run_traced_job(cfg: &TracedJobConfig) -> TraceResult {
             Role::Encoder => run_encoder_rank(world, &sub, layout, cfg),
         }
     });
-    let full = result.trace.byte_matrix();
+    TracedWorld {
+        layout,
+        process_grid: cfg.process_grid(),
+        trace: result.trace,
+    }
+}
+
+/// Run the instrumented job and return its communication matrices.
+pub fn run_traced_job(cfg: &TracedJobConfig) -> TraceResult {
+    let TracedWorld {
+        layout,
+        process_grid,
+        trace,
+    } = run_traced_world(cfg);
+    let full = trace.byte_matrix();
     let app_ranks = layout.application_ranks();
     let app = full.project(&app_ranks);
     // Translate the raw event streams (global ranks) into application
     // rank space, dropping traffic that touches encoder ranks.
     let app_events = if cfg.record_events {
-        result
-            .trace
+        trace
             .take_events()
             .into_iter()
             .enumerate()
@@ -328,7 +381,7 @@ pub fn run_traced_job(cfg: &TracedJobConfig) -> TraceResult {
     };
     TraceResult {
         layout,
-        process_grid: cfg.process_grid(),
+        process_grid,
         full,
         app,
         app_events,
@@ -536,6 +589,8 @@ mod tests {
             encoder_group_nodes: 4,
             record_events: false,
             mailbox_shards: 0,
+            workers: 0,
+            engine: Engine::Auto,
         });
         let hier_cfg = HierarchicalConfig {
             min_nodes_per_l1: 4,

@@ -73,87 +73,83 @@ impl Comm {
 
     /// Recursive doubling (power-of-two sizes): at step k exchange all
     /// currently held blocks with partner `rank XOR 2^k`.
+    ///
+    /// All n blocks live in one flat byte buffer (every rank contributes
+    /// the same encoded width, so block i sits at `i * blk`), and each
+    /// step ships a single contiguous slice of it with no framing — the
+    /// wire carries exactly the payload bytes. At 22k+ ranks this is the
+    /// difference between one buffer per call and hundreds of millions
+    /// of per-block `Vec`s across the init allgathers.
     fn allgather_recursive_doubling<T: Datum>(&self, mine: &[T]) -> Vec<T> {
         let n = self.size();
         let rank = self.rank();
-        let block = mine.len();
-        // blocks[i] holds rank i's contribution once filled.
-        let mut have = vec![None::<Vec<u8>>; n];
-        have[rank] = Some(encode(mine));
+        let blk = mine.len() * T::WIDTH;
+        let mut flat = vec![0u8; n * blk];
+        crate::datatype::encode_to_slice(mine, &mut flat[rank * blk..(rank + 1) * blk]);
         let mut dist = 1usize;
         let mut step = 0u32;
         while dist < n {
             let partner = rank ^ dist;
-            // I currently hold the contiguous block range my "corner" of
-            // the butterfly owns: base..base+dist where base clears the
-            // low bits.
+            // My "corner" of the butterfly owns the contiguous block
+            // range base..base+2*dist; I hold the half my dist-bit
+            // selects, the partner holds — and sends — the other half.
             let base = rank & !(2 * dist - 1);
-            let my_lo = if rank & dist == 0 { base } else { base + dist };
-            let mut payload = Vec::new();
-            for (i, block) in have.iter().enumerate().skip(my_lo).take(dist) {
-                let b = block.as_ref().expect("held block");
-                payload.extend_from_slice(&(i as u64).to_le_bytes());
-                payload.extend_from_slice(&(b.len() as u64).to_le_bytes());
-                payload.extend_from_slice(b);
-            }
-            self.send_raw(partner, TAG_ALLGATHER | step, payload);
+            let (my_lo, their_lo) = if rank & dist == 0 {
+                (base, base + dist)
+            } else {
+                (base + dist, base)
+            };
+            self.send_raw(
+                partner,
+                TAG_ALLGATHER | step,
+                self.pooled_from(&flat[my_lo * blk..(my_lo + dist) * blk]),
+            );
             let recv = self.recv_raw(partner, TAG_ALLGATHER | step);
-            unpack_blocks(&recv, &mut have);
+            flat[their_lo * blk..(their_lo + dist) * blk].copy_from_slice(&recv);
             self.recycle(recv);
             dist <<= 1;
             step += 1;
         }
-        let mut out = Vec::with_capacity(n * block);
-        for b in have {
-            out.extend(decode::<T>(&b.expect("all blocks gathered")));
-        }
-        out
+        decode(&flat)
     }
 
     /// Bruck's allgather (any size): step k sends the first
     /// `min(2^k, n − 2^k)` held blocks to `rank − 2^k` and receives from
     /// `rank + 2^k`; a final rotation restores rank order.
+    ///
+    /// Same flat-buffer discipline as recursive doubling: block j of the
+    /// buffer is the contribution of rank `(rank + j) mod n`, the blocks
+    /// held so far are always a prefix, and each step ships that prefix
+    /// (or the part of it still needed) unframed. The closing rotation
+    /// is a single `rotate_right` on the byte buffer.
     fn allgather_bruck<T: Datum>(&self, mine: &[T]) -> Vec<T> {
         let n = self.size();
         let rank = self.rank();
-        let block = mine.len();
-        // held[j] = contribution of rank (rank + j) mod n.
-        let mut held: Vec<Vec<u8>> = vec![encode(mine)];
+        let blk = mine.len() * T::WIDTH;
+        let mut flat = vec![0u8; n * blk];
+        crate::datatype::encode_to_slice(mine, &mut flat[..blk]);
+        let mut have = 1usize;
         let mut dist = 1usize;
         let mut step = 0u32;
-        while held.len() < n {
+        while have < n {
             let to = (rank + n - dist) % n;
             let from = (rank + dist) % n;
-            let cnt = held.len().min(n - held.len());
-            let mut payload = Vec::new();
-            payload.extend_from_slice(&(cnt as u64).to_le_bytes());
-            for b in &held[..cnt] {
-                payload.extend_from_slice(&(b.len() as u64).to_le_bytes());
-                payload.extend_from_slice(b);
-            }
-            self.send_raw(to, TAG_ALLGATHER | step, payload);
+            let cnt = have.min(n - have);
+            self.send_raw(
+                to,
+                TAG_ALLGATHER | step,
+                self.pooled_from(&flat[..cnt * blk]),
+            );
             let recv = self.recv_raw(from, TAG_ALLGATHER | step);
-            let mut off = 0usize;
-            let cnt_in = read_u64(&recv, &mut off) as usize;
-            for _ in 0..cnt_in {
-                let len = read_u64(&recv, &mut off) as usize;
-                held.push(recv[off..off + len].to_vec());
-                off += len;
-            }
+            flat[have * blk..(have + cnt) * blk].copy_from_slice(&recv);
             self.recycle(recv);
+            have += cnt;
             dist <<= 1;
             step += 1;
         }
-        // held[j] belongs to rank (rank + j) mod n → rotate into order.
-        let mut out = vec![Vec::new(); n];
-        for (j, b) in held.into_iter().enumerate() {
-            out[(rank + j) % n] = b;
-        }
-        let mut flat = Vec::with_capacity(n * block);
-        for b in out {
-            flat.extend(decode::<T>(&b));
-        }
-        flat
+        // Block j belongs to rank (rank + j) mod n → rotate into order.
+        flat.rotate_right(rank * blk);
+        decode(&flat)
     }
 
     /// Ring allgather (the MPICH2 long-message algorithm). Exposed for the
@@ -366,23 +362,6 @@ impl Comm {
             self.recycle(raw);
         }
         recvs
-    }
-}
-
-fn read_u64(buf: &[u8], off: &mut usize) -> u64 {
-    let v = u64::from_le_bytes(buf[*off..*off + 8].try_into().expect("u64 field"));
-    *off += 8;
-    v
-}
-
-/// Unpack `(index, len, bytes)*` records into the `have` table.
-fn unpack_blocks(buf: &[u8], have: &mut [Option<Vec<u8>>]) {
-    let mut off = 0;
-    while off < buf.len() {
-        let idx = read_u64(buf, &mut off) as usize;
-        let len = read_u64(buf, &mut off) as usize;
-        have[idx] = Some(buf[off..off + len].to_vec());
-        off += len;
     }
 }
 

@@ -1,13 +1,15 @@
-//! `simmpi` — an in-process, thread-per-rank MPI-like runtime.
+//! `simmpi` — an in-process MPI-like runtime for six-figure rank counts.
 //!
 //! The paper runs its tsunami workload under a modified MPICH2 that traces
 //! every message. We have no cluster and no MPI, so this crate *is* the
-//! substitute substrate: each rank is an OS thread, point-to-point
-//! messages go through per-rank mailboxes, and the collectives implement
-//! the same algorithms MPICH2 uses (notably recursive-doubling allgather,
-//! whose power-of-two communication diagonals are explicitly visible in
-//! the paper's Fig. 5b). A [`TraceRecorder`] observes every byte on the
-//! wire, exactly like the paper's instrumented MPI library.
+//! substitute substrate: each rank is a resumable task multiplexed M:N
+//! onto a fixed worker pool (or, as a portable fallback, an OS thread),
+//! point-to-point messages go through per-rank mailboxes, and the
+//! collectives implement the same algorithms MPICH2 uses (notably
+//! recursive-doubling allgather, whose power-of-two communication
+//! diagonals are explicitly visible in the paper's Fig. 5b). A
+//! [`TraceRecorder`] observes every byte on the wire, exactly like the
+//! paper's instrumented MPI library.
 //!
 //! Design notes:
 //! * **Buffered sends** — `send` never blocks, so naive SPMD exchange
@@ -26,10 +28,11 @@ pub mod comm;
 pub mod datatype;
 pub mod nonblocking;
 pub mod runtime;
+mod sched;
 pub mod trace;
 
 pub use comm::Comm;
 pub use datatype::Datum;
 pub use nonblocking::{wait_all, RecvRequest};
-pub use runtime::{World, WorldConfig};
+pub use runtime::{Engine, World, WorldConfig};
 pub use trace::{MessageEvent, TraceRecorder};

@@ -1,9 +1,19 @@
-//! World construction: one OS thread per rank, sharded shared mailboxes.
+//! World construction: simulated ranks over sharded shared mailboxes.
 //!
-//! 1088 ranks (the paper's largest job) means 1088 threads; with 512 KiB
-//! stacks that is ~0.5 GiB of reserved (mostly untouched) address space —
-//! cheap on Linux. Threads block on condvars while waiting for messages,
-//! so oversubscription costs context switches only when traffic flows.
+//! Two execution engines share one mailbox fabric:
+//!
+//! * **Tasks** (default on x86_64 Linux): rank bodies run as stackful
+//!   coroutines multiplexed M:N onto a fixed worker pool
+//!   (`HCFT_SIMMPI_WORKERS`, default = cores) by [`crate::sched`]. A
+//!   blocking receive context-switches to the next runnable rank in tens
+//!   of nanoseconds, so six-figure rank counts fit on one box — far past
+//!   the kernel's thread limits — and a sender wakes its receiver by
+//!   pushing a task id, not a futex syscall.
+//! * **Threads**: one OS thread per rank, receivers parked on shard
+//!   condvars after a yield-spin budget. 1088 ranks (the paper's largest
+//!   job) is comfortably within this engine; it remains the portable
+//!   fallback and the apples-to-apples baseline
+//!   (`HCFT_SIMMPI_ENGINE=threads`).
 //!
 //! Each rank's mailbox is split into shards indexed by *sender* world
 //! rank, so concurrent senders to the same destination (the all-to-one
@@ -15,10 +25,10 @@
 //! `bench_pipeline` harness compares against.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -26,6 +36,7 @@ use hcft_telemetry::{Counter, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::comm::Comm;
+use crate::sched::{self, TaskSched};
 use crate::trace::TraceRecorder;
 
 /// Message-queue key: (communicator context, sender comm-rank, tag).
@@ -36,13 +47,47 @@ const DEFAULT_SHARDS: usize = 8;
 
 /// Yield slices a receiver burns before parking on the shard condvar
 /// (`HCFT_SIMMPI_YIELD_SPINS` env override; 0 disables the yield phase).
+/// Thread engine only; task receivers switch to another rank instead.
 fn yield_budget() -> u32 {
-    static BUDGET: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    static BUDGET: OnceLock<u32> = OnceLock::new();
     *BUDGET.get_or_init(|| {
         std::env::var("HCFT_SIMMPI_YIELD_SPINS")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(4)
+    })
+}
+
+/// `HCFT_SIMMPI_SHARDS` (cached — the per-world resolve must not re-read
+/// the environment).
+fn env_shards() -> Option<usize> {
+    static SHARDS: OnceLock<Option<usize>> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        std::env::var("HCFT_SIMMPI_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&s| s > 0)
+    })
+}
+
+/// `HCFT_SIMMPI_WORKERS` (cached).
+fn env_workers() -> Option<usize> {
+    static WORKERS: OnceLock<Option<usize>> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("HCFT_SIMMPI_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w > 0)
+    })
+}
+
+/// `HCFT_SIMMPI_ENGINE` (cached): `tasks` or `threads`.
+fn env_engine() -> Option<Engine> {
+    static ENGINE: OnceLock<Option<Engine>> = OnceLock::new();
+    *ENGINE.get_or_init(|| match std::env::var("HCFT_SIMMPI_ENGINE").as_deref() {
+        Ok("tasks") => Some(Engine::Tasks),
+        Ok("threads") => Some(Engine::Threads),
+        _ => None,
     })
 }
 
@@ -91,7 +136,30 @@ impl Hasher for FnvHasher {
     }
 }
 
-type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+pub(crate) type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// Sentinel for [`Channel::waiter`]: no task is parked on the channel.
+const NO_WAITER: u32 = u32::MAX;
+
+/// One message channel: its FIFO plus the wake hint for the task engine.
+/// Keeping the hint inside the map value means deliver and receive each
+/// do a single map lookup for both the payload and the handshake.
+struct Channel {
+    q: VecDeque<Bytes>,
+    /// World rank of the task blocked on this channel (task engine), or
+    /// [`NO_WAITER`]. Written under the shard lock; a sender that takes
+    /// it owns the wake.
+    waiter: u32,
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel {
+            q: VecDeque::new(),
+            waiter: NO_WAITER,
+        }
+    }
+}
 
 /// One lock domain of a mailbox: FIFO queues per (ctx, src, tag) for the
 /// subset of senders hashing here, plus the condvar receivers park on.
@@ -99,7 +167,7 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 /// (empty) `VecDeque`, so steady-state traffic never reallocates queue
 /// storage or rehashes the map.
 struct Shard {
-    queues: Mutex<FnvMap<MsgKey, std::collections::VecDeque<Bytes>>>,
+    queues: Mutex<FnvMap<MsgKey, Channel>>,
     cv: Condvar,
     /// Receivers currently parked (or about to park) on `cv`. Senders
     /// skip the condvar entirely when this is zero — on Linux a notify
@@ -294,6 +362,27 @@ impl BufferPool {
             }
         }
     }
+
+    /// Drain the calling thread's magazine into the shared tier. Called
+    /// when a rank thread or scheduler worker retires: its magazine is
+    /// about to die with the thread, and without this the buffers would
+    /// strand (be freed) while the rest of the world still wants them.
+    pub(crate) fn flush_magazine(&self) {
+        MAGAZINE.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.is_empty() {
+                return;
+            }
+            let mut slots = self.slots.lock();
+            while slots.len() < Self::MAX_POOLED {
+                let Some(arc) = m.pop() else {
+                    return;
+                };
+                slots.push(arc);
+            }
+            m.clear();
+        });
+    }
 }
 
 /// State shared by all ranks of a world.
@@ -305,6 +394,9 @@ pub(crate) struct Shared {
     pub(crate) recv_timeout: Duration,
     pub(crate) metrics: MailboxMetrics,
     pub(crate) pool: BufferPool,
+    /// The task scheduler, when this world runs on the task engine. Set
+    /// before any rank body starts.
+    pub(crate) sched: OnceLock<Arc<TaskSched>>,
 }
 
 impl Shared {
@@ -312,12 +404,18 @@ impl Shared {
     /// Panics with a diagnostic if `recv_timeout` elapses — a deadlocked
     /// SPMD program is a bug we want loudly, not a hung test suite.
     pub(crate) fn blocking_recv(&self, rank: usize, key: MsgKey) -> Bytes {
-        // With far more rank threads than cores the expected producer of
-        // a missing message is merely *behind us in the run queue*, not
-        // blocked: yielding the time slice a few times lets it run and
-        // deliver, avoiding a futex park + wake round trip per halo
-        // message. Only after the yield budget is spent do we register
-        // as a waiter and park on the shard condvar.
+        // Task engine: the caller is a coroutine, so "blocking" means
+        // registering a wake hint and switching to the next runnable
+        // rank — no spinning, no condvar.
+        if let Some(cur) = sched::current() {
+            return self.task_recv(rank, key, cur);
+        }
+        // Thread engine. With far more rank threads than cores the
+        // expected producer of a missing message is merely *behind us in
+        // the run queue*, not blocked: yielding the time slice a few
+        // times lets it run and deliver, avoiding a futex park + wake
+        // round trip per halo message. Only after the yield budget is
+        // spent do we register as a waiter and park on the shard condvar.
         let yield_budget = yield_budget();
         let shard = self.mailboxes[rank].shard(&key);
         let deadline = Instant::now() + self.recv_timeout;
@@ -328,7 +426,7 @@ impl Shared {
             // them frees the VecDeque, so every steady-state message on
             // the channel would pay a fresh queue allocation plus a map
             // insert/remove cycle.
-            if let Some(msg) = queues.get_mut(&key).and_then(|q| q.pop_front()) {
+            if let Some(msg) = queues.get_mut(&key).and_then(|c| c.q.pop_front()) {
                 return msg;
             }
             if yields < yield_budget {
@@ -352,6 +450,46 @@ impl Shared {
         }
     }
 
+    /// Task-engine receive: register this task as the channel's waiter
+    /// (under the shard lock, so a sender that sees the hint is ordered
+    /// after our blocked-state store) and switch away. The home worker's
+    /// watchdog resumes us with the timeout flag if the deadline passes;
+    /// one final queue check closes the race where the message and the
+    /// timeout arrive together.
+    fn task_recv(&self, rank: usize, key: MsgKey, cur: sched::CurrentTask) -> Bytes {
+        let shard = self.mailboxes[rank].shard(&key);
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            let mut queues = shard.queues.lock();
+            let ch = queues.entry(key).or_default();
+            if let Some(msg) = ch.q.pop_front() {
+                return msg;
+            }
+            ch.waiter = rank as u32;
+            cur.prepare_block();
+            drop(queues);
+            self.metrics.waits.inc();
+            cur.block(deadline);
+            if cur.take_timed_out() {
+                let mut queues = shard.queues.lock();
+                let ch = queues.entry(key).or_default();
+                // Clear the stale hint so a later sender on this channel
+                // does not try to wake us while we block elsewhere.
+                if ch.waiter == rank as u32 {
+                    ch.waiter = NO_WAITER;
+                }
+                if let Some(msg) = ch.q.pop_front() {
+                    return msg;
+                }
+                drop(queues);
+                panic!(
+                    "simmpi deadlock: rank {rank} waited {:?} for (ctx={}, src={}, tag={:#x})",
+                    self.recv_timeout, key.0, key.1, key.2
+                );
+            }
+        }
+    }
+
     /// Deposit a message into `dst`'s mailbox. The payload is refcounted,
     /// so this moves a pointer, not the bytes.
     pub(crate) fn deliver(&self, dst: usize, key: MsgKey, payload: Bytes) {
@@ -365,22 +503,45 @@ impl Shared {
                 shard.queues.lock()
             }
         };
-        queues.entry(key).or_default().push_back(payload);
-        // Read the waiter count before releasing the lock: a receiver
-        // either registered itself under this lock (count visible here)
-        // or will acquire it after us and see the message in the queue.
-        let has_waiter = shard.waiters.load(Ordering::Relaxed) > 0;
+        let ch = queues.entry(key).or_default();
+        ch.q.push_back(payload);
+        // Taking the hint under the lock makes this sender the wake
+        // owner; the CAS inside `wake` settles any race with the
+        // deadline watchdog.
+        let task_waiter = std::mem::replace(&mut ch.waiter, NO_WAITER);
+        // Read the thread-waiter count before releasing the lock: a
+        // receiver either registered itself under this lock (count
+        // visible here) or will acquire it after us and see the message
+        // in the queue.
+        let has_thread_waiter = shard.waiters.load(Ordering::Relaxed) > 0;
         drop(queues);
-        if has_waiter {
+        if task_waiter != NO_WAITER {
+            if let Some(sched) = self.sched.get() {
+                sched.wake(task_waiter);
+            }
+        }
+        if has_thread_waiter {
             shard.cv.notify_all();
         }
     }
 }
 
+/// Which execution engine carries the rank bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// `HCFT_SIMMPI_ENGINE` env override, else [`Engine::Tasks`] where
+    /// supported (x86_64 Linux) and [`Engine::Threads`] elsewhere.
+    Auto,
+    /// One OS thread per rank (portable baseline).
+    Threads,
+    /// M:N stackful coroutines on a fixed worker pool.
+    Tasks,
+}
+
 /// Tunables for a world run.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
-    /// Per-rank thread stack size in bytes.
+    /// Per-rank stack size in bytes (thread stack or coroutine stack).
     pub stack_size: usize,
     /// How long a blocking receive may wait before declaring deadlock.
     pub recv_timeout: Duration,
@@ -391,6 +552,12 @@ pub struct WorldConfig {
     /// override, else 8, capped at the world size). 1 reproduces the
     /// unsharded single-mutex-per-rank design.
     pub mailbox_shards: usize,
+    /// Worker threads for the task engine; 0 = auto
+    /// (`HCFT_SIMMPI_WORKERS` env override, else the core count), always
+    /// capped at the rank count.
+    pub workers: usize,
+    /// Execution engine selection.
+    pub engine: Engine,
 }
 
 impl Default for WorldConfig {
@@ -400,6 +567,8 @@ impl Default for WorldConfig {
             recv_timeout: Duration::from_secs(60),
             trace_events: false,
             mailbox_shards: 0,
+            workers: 0,
+            engine: Engine::Auto,
         }
     }
 }
@@ -409,13 +578,42 @@ fn resolve_shards(cfg: &WorldConfig, n: usize) -> usize {
     let requested = if cfg.mailbox_shards > 0 {
         cfg.mailbox_shards
     } else {
-        std::env::var("HCFT_SIMMPI_SHARDS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&s| s > 0)
-            .unwrap_or(DEFAULT_SHARDS)
+        env_shards().unwrap_or(DEFAULT_SHARDS)
     };
     requested.min(n).max(1)
+}
+
+/// Concrete engine for this run: explicit config wins, then the env
+/// override, then tasks-where-supported. A task request on an
+/// unsupported target degrades to threads (same semantics, just slower
+/// at scale) rather than failing.
+fn resolve_engine(cfg: &WorldConfig) -> Engine {
+    let wanted = match cfg.engine {
+        Engine::Auto => env_engine().unwrap_or(if sched::SUPPORTED {
+            Engine::Tasks
+        } else {
+            Engine::Threads
+        }),
+        explicit => explicit,
+    };
+    if wanted == Engine::Tasks && !sched::SUPPORTED {
+        return Engine::Threads;
+    }
+    wanted
+}
+
+/// Worker-pool size for a task-engine world of `n` ranks.
+fn resolve_workers(cfg: &WorldConfig, n: usize) -> usize {
+    let requested = if cfg.workers > 0 {
+        cfg.workers
+    } else {
+        env_workers().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+    };
+    requested.clamp(1, n)
 }
 
 /// A finished world run: per-rank outputs (rank-ordered) plus the trace.
@@ -451,6 +649,7 @@ impl World {
     {
         assert!(n > 0, "world needs at least one rank");
         let shards = resolve_shards(&cfg, n);
+        let engine = resolve_engine(&cfg);
         let reg = Registry::global();
         reg.counter("simmpi.worlds").inc();
         reg.gauge("simmpi.mailbox.shards").set(shards as f64);
@@ -463,27 +662,18 @@ impl World {
             recv_timeout: cfg.recv_timeout,
             metrics: MailboxMetrics::from_registry(reg),
             pool: BufferPool::new(reg),
+            sched: OnceLock::new(),
         });
         let f = Arc::new(f);
-        let mut handles = Vec::with_capacity(n);
-        for rank in 0..n {
-            let shared = Arc::clone(&shared);
-            let f = Arc::clone(&f);
-            let handle = std::thread::Builder::new()
-                .name(format!("rank-{rank}"))
-                .stack_size(cfg.stack_size)
-                .spawn(move || {
-                    let mut comm = Comm::world(shared, rank);
-                    f(&mut comm)
-                })
-                .expect("spawn rank thread");
-            handles.push(handle);
-        }
-        let mut outputs = Vec::with_capacity(n);
+        let outputs = match engine {
+            Engine::Tasks => Self::run_tasks(n, &cfg, &shared, f),
+            _ => Self::run_threads(n, &cfg, &shared, f),
+        };
+        let mut outs = Vec::with_capacity(n);
         let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
-        for (rank, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(v) => outputs.push(v),
+        for (rank, r) in outputs.into_iter().enumerate() {
+            match r {
+                Ok(v) => outs.push(v),
                 Err(e) => {
                     if panicked.is_none() {
                         panicked = Some((rank, e));
@@ -499,7 +689,103 @@ impl World {
                 .unwrap_or_else(|| "<non-string panic>".to_string());
             panic!("rank {rank} panicked: {msg}");
         }
-        WorldResult { outputs, trace }
+        WorldResult {
+            outputs: outs,
+            trace,
+        }
+    }
+
+    /// Thread engine: one named OS thread per rank.
+    fn run_threads<T, F>(
+        n: usize,
+        cfg: &WorldConfig,
+        shared: &Arc<Shared>,
+        f: Arc<F>,
+    ) -> Vec<std::thread::Result<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let shared = Arc::clone(shared);
+            let f = Arc::clone(&f);
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(cfg.stack_size)
+                .spawn(move || {
+                    let mut comm = Comm::world(Arc::clone(&shared), rank);
+                    let out = f(&mut comm);
+                    drop(comm);
+                    // Ranks that finish early (the paper's encoder ranks
+                    // return before the app ranks) hand their magazine
+                    // back so the still-running ranks keep hitting the
+                    // pool instead of the allocator.
+                    shared.pool.flush_magazine();
+                    out
+                })
+                .expect("spawn rank thread");
+            handles.push(handle);
+        }
+        handles.into_iter().map(|h| h.join()).collect()
+    }
+
+    /// Task engine: rank bodies as coroutines on a worker pool.
+    fn run_tasks<T, F>(
+        n: usize,
+        cfg: &WorldConfig,
+        shared: &Arc<Shared>,
+        f: Arc<F>,
+    ) -> Vec<std::thread::Result<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        let workers = resolve_workers(cfg, n);
+        Registry::global()
+            .gauge("simmpi.sched.workers")
+            .set(workers as f64);
+        // Idle workers double as the deadline watchdog for their own
+        // blocked tasks; scanning at a fraction of the receive timeout
+        // keeps detection latency proportional to the configured limit.
+        let watchdog =
+            (cfg.recv_timeout / 4).clamp(Duration::from_millis(2), Duration::from_millis(100));
+        let slots: Arc<Vec<Mutex<Option<std::thread::Result<T>>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..n)
+            .map(|rank| {
+                let shared = Arc::clone(shared);
+                let f = Arc::clone(&f);
+                let slots = Arc::clone(&slots);
+                Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut comm = Comm::world(shared, rank);
+                        f(&mut comm)
+                    }));
+                    *slots[rank].lock() = Some(result);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let sched = TaskSched::new(workers, cfg.stack_size, watchdog, bodies);
+        // Senders need the scheduler to wake receivers; install it before
+        // the first task can possibly run.
+        if shared.sched.set(Arc::clone(&sched)).is_err() {
+            unreachable!("scheduler installed twice");
+        }
+        let flush = {
+            let shared = Arc::clone(shared);
+            move || shared.pool.flush_magazine()
+        };
+        sched.run(flush);
+        slots
+            .iter()
+            .enumerate()
+            .map(|(rank, slot)| {
+                slot.lock()
+                    .take()
+                    .unwrap_or_else(|| panic!("rank {rank} produced no output"))
+            })
+            .collect()
     }
 }
 

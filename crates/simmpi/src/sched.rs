@@ -1,0 +1,641 @@
+//! M:N cooperative scheduler: rank bodies as stackful coroutines.
+//!
+//! Thread-per-rank tops out well below full-machine scale: the kernel
+//! caps task counts (`pid_max` is 32768 here) long before the paper's
+//! full-TSUBAME2 job (≈22k ranks, stretch 100k) fits, and even at the
+//! paper's 1088 ranks every halo message pays a futex park + wake round
+//! trip. This module multiplexes rank bodies onto a fixed worker pool
+//! instead: each rank becomes a resumable task with its own stack, and a
+//! blocking receive *switches* to the next runnable rank (~tens of ns)
+//! rather than parking an OS thread.
+//!
+//! Design invariants, in order of importance:
+//!
+//! * **Static home workers.** Rank `r` is owned by worker `r / chunk`
+//!   forever; tasks never migrate. Only the home worker ever resumes a
+//!   task, so a waker can enqueue a task id the instant it flips the
+//!   task's state — the home worker is by definition busy completing that
+//!   task's context save (or doing something else) and cannot resume it
+//!   concurrently. No other synchronisation of the saved context is
+//!   needed. Block assignment also co-locates stencil neighbours.
+//! * **Wake ownership by CAS.** A blocked task is woken by exactly one
+//!   party: a sender that finds the task's id registered on the message
+//!   channel, or the home worker's deadline watchdog. Both race through
+//!   one `compare_exchange(BLOCKED → READY)`; the loser does nothing.
+//! * **Single-threaded task cells.** A task's saved stack pointer,
+//!   deadline and timeout flag are only touched by code running *on the
+//!   home worker* (the task itself, or the worker loop), so they are
+//!   plain `Cell`s; cross-thread traffic goes through the one atomic
+//!   state word.
+//!
+//! The context switch is ~20 instructions of inline assembly (x86_64
+//! SysV: save/restore the six callee-saved GPRs plus `rsp`; the FP/SSE
+//! control words are never modified by generated code, and no xmm
+//! register is callee-saved). Stacks are carved out of large slabs — one
+//! `mmap` per ~512 stacks — so 100k ranks do not exhaust
+//! `vm.max_map_count`. There are no guard pages; a canary word at the
+//! stack base turns silent overflow into a loud panic at the next
+//! switch.
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub(crate) use imp::*;
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+pub(crate) use stub::*;
+
+/// Whether the task engine exists on this target. Off-target builds fall
+/// back to thread-per-rank (see `runtime::resolve_engine`).
+pub(crate) const SUPPORTED: bool = cfg!(all(target_arch = "x86_64", target_os = "linux"));
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod imp {
+    use std::cell::{Cell, RefCell, UnsafeCell};
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use hcft_telemetry::{Counter, Registry};
+    use parking_lot::{Condvar, Mutex};
+
+    // ----- context switch ------------------------------------------------
+
+    core::arch::global_asm!(
+        ".text",
+        ".balign 16",
+        ".globl hcft_simmpi_ctx_switch",
+        ".hidden hcft_simmpi_ctx_switch",
+        ".type hcft_simmpi_ctx_switch, @function",
+        // fn(save: *mut *mut u8 /* rdi */, load: *mut u8 /* rsi */)
+        //
+        // Saves the SysV callee-saved GPRs on the current stack, parks the
+        // resulting rsp in *save, adopts `load` as the new rsp and pops the
+        // same frame back off it. Returning then "returns" on the target
+        // context — either into the trampoline (first run) or back into a
+        // previous hcft_simmpi_ctx_switch call site.
+        "hcft_simmpi_ctx_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov qword ptr [rdi], rsp",
+        "mov rsp, rsi",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".size hcft_simmpi_ctx_switch, . - hcft_simmpi_ctx_switch",
+        ".balign 16",
+        ".globl hcft_simmpi_task_tramp",
+        ".hidden hcft_simmpi_task_tramp",
+        ".type hcft_simmpi_task_tramp, @function",
+        // First-run entry: a fresh task frame "returns" here with the task
+        // pointer preloaded in (callee-saved) r12. rsp is 16-aligned at
+        // this point, so the call below leaves the ABI-mandated rsp%16==8
+        // at the entry of hcft_simmpi_task_entry.
+        "hcft_simmpi_task_tramp:",
+        "mov rdi, r12",
+        "call hcft_simmpi_task_entry",
+        "ud2",
+        ".size hcft_simmpi_task_tramp, . - hcft_simmpi_task_tramp",
+    );
+
+    extern "C" {
+        fn hcft_simmpi_ctx_switch(save: *mut *mut u8, load: *mut u8);
+        fn hcft_simmpi_task_tramp();
+    }
+
+    // ----- task state ----------------------------------------------------
+
+    /// Runnable (queued or currently executing on its home worker).
+    const READY: u8 = 0;
+    /// Parked on a message channel, waiting for a wake.
+    const BLOCKED: u8 = 1;
+    /// Body returned; never resumed again.
+    const DONE: u8 = 2;
+
+    /// Written at the lowest address of every stack; clobbered means the
+    /// task overflowed (there are no guard pages).
+    const STACK_CANARY: u64 = 0x5AFE_57AC_CA4A_B1E5;
+
+    /// Why a task switched back to its worker.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Reason {
+        Blocked,
+        Done,
+    }
+
+    /// One rank task. Cells are home-worker-only (see module docs); the
+    /// `state` word is the sole cross-thread handshake.
+    struct Task {
+        state: AtomicU8,
+        /// Saved stack pointer while suspended.
+        sp: Cell<*mut u8>,
+        /// Lowest address of this task's stack (canary location).
+        stack_lo: *mut u8,
+        /// Receive deadline while blocked (watchdog input).
+        deadline: Cell<Option<Instant>>,
+        /// Set by the watchdog before a timeout wake.
+        timed_out: Cell<bool>,
+        /// The rank body; taken on first entry.
+        body: UnsafeCell<Option<Box<dyn FnOnce() + Send>>>,
+    }
+
+    // SAFETY: `sp`/`deadline`/`timed_out`/`body` are only accessed from
+    // the task's home worker thread (the static-ownership invariant);
+    // `state` is atomic. `stack_lo` is immutable.
+    unsafe impl Send for Task {}
+    unsafe impl Sync for Task {}
+
+    /// A slab holding many task stacks — one allocation per ~512 stacks so
+    /// six-figure rank counts stay far under `vm.max_map_count`.
+    struct StackSlab {
+        base: *mut u8,
+        layout: std::alloc::Layout,
+    }
+
+    // SAFETY: the slab is raw memory; all aliasing is managed by the
+    // scheduler (each stack range is used by exactly one task).
+    unsafe impl Send for StackSlab {}
+    unsafe impl Sync for StackSlab {}
+
+    impl Drop for StackSlab {
+        fn drop(&mut self) {
+            // SAFETY: allocated with this layout in `TaskSched::new`.
+            unsafe { std::alloc::dealloc(self.base, self.layout) };
+        }
+    }
+
+    /// Cross-thread face of one worker: the wake injector.
+    struct WorkerShared {
+        injector: Mutex<Vec<u32>>,
+        cv: Condvar,
+        /// True while the worker is (about to be) parked in `cv`. Written
+        /// under `injector`, so a waker holding the lock sees the truth
+        /// and can skip the futex syscall when the worker is busy.
+        sleeping: Cell<bool>,
+    }
+
+    // SAFETY: `sleeping` is only accessed with `injector` held.
+    unsafe impl Send for WorkerShared {}
+    unsafe impl Sync for WorkerShared {}
+
+    /// Scheduler telemetry, resolved once per world.
+    struct SchedMetrics {
+        resumes: Arc<Counter>,
+        wakes_local: Arc<Counter>,
+        wakes_remote: Arc<Counter>,
+        timeouts: Arc<Counter>,
+    }
+
+    /// The per-world scheduler: tasks, workers, stacks.
+    pub(crate) struct TaskSched {
+        /// Distinguishes schedulers when worlds nest (TLS sanity checks).
+        id: u64,
+        tasks: Vec<Task>,
+        workers: Vec<WorkerShared>,
+        /// Ranks per worker: rank r is owned by worker r / chunk.
+        chunk: usize,
+        /// How often an *idle* worker rescans its blocked tasks for
+        /// expired receive deadlines.
+        watchdog_period: Duration,
+        metrics: SchedMetrics,
+        /// Keeps the stacks alive; dropped (deallocated) with the sched.
+        _slabs: Vec<StackSlab>,
+    }
+
+    // ----- worker-thread TLS ---------------------------------------------
+
+    /// Home-worker-private state, reachable from task context via TLS so
+    /// a task blocking itself (or waking a sibling on the same worker)
+    /// touches no locks.
+    struct WorkerCtl {
+        sched_id: u64,
+        index: usize,
+        /// The worker loop's saved context while a task runs.
+        sched_sp: Cell<*mut u8>,
+        /// Local run queue. Never borrowed across a context switch.
+        local: RefCell<VecDeque<u32>>,
+        /// Why the last task switch returned to the worker.
+        reason: Cell<Reason>,
+    }
+
+    thread_local! {
+        static WORKER: Cell<*const WorkerCtl> = const { Cell::new(std::ptr::null()) };
+        static CURRENT: Cell<*const Task> = const { Cell::new(std::ptr::null()) };
+    }
+
+    /// Handle to the task currently executing on this thread, if any.
+    /// `None` on rank threads of the thread engine (and off-worker code).
+    pub(crate) struct CurrentTask {
+        task: *const Task,
+    }
+
+    pub(crate) fn current() -> Option<CurrentTask> {
+        let t = CURRENT.with(|c| c.get());
+        if t.is_null() {
+            None
+        } else {
+            Some(CurrentTask { task: t })
+        }
+    }
+
+    impl CurrentTask {
+        fn task(&self) -> &Task {
+            // SAFETY: the pointer came from CURRENT, which the home worker
+            // sets for exactly the duration of this task's execution, and
+            // `CurrentTask` is neither Send nor returned across switches.
+            unsafe { &*self.task }
+        }
+
+        /// Mark the task as blocked. Must be called while holding the
+        /// mailbox shard lock on which the wake-hint was registered: the
+        /// lock orders this store against the waker's read of the hint,
+        /// so a sender that saw the hint always succeeds its wake CAS.
+        pub(crate) fn prepare_block(&self) {
+            self.task().state.store(BLOCKED, Ordering::Release);
+        }
+
+        /// Switch to the scheduler until woken. Call after
+        /// [`CurrentTask::prepare_block`], with no locks held.
+        pub(crate) fn block(&self, deadline: Instant) {
+            let t = self.task();
+            t.deadline.set(Some(deadline));
+            switch_to_worker(Reason::Blocked);
+            t.deadline.set(None);
+        }
+
+        /// Whether the last wake came from the deadline watchdog rather
+        /// than a sender (reading clears the flag).
+        pub(crate) fn take_timed_out(&self) -> bool {
+            self.task().timed_out.replace(false)
+        }
+    }
+
+    /// Suspend the running task and resume its worker loop.
+    fn switch_to_worker(reason: Reason) {
+        let ctl = WORKER.with(|w| w.get());
+        let task = CURRENT.with(|c| c.get());
+        debug_assert!(!ctl.is_null() && !task.is_null());
+        // SAFETY: both pointers are installed by this thread's worker
+        // loop and outlive the task; the switch returns here only when
+        // the home worker resumes this exact context.
+        unsafe {
+            (*ctl).reason.set(reason);
+            hcft_simmpi_ctx_switch((*task).sp.as_ptr(), (*ctl).sched_sp.get());
+        }
+    }
+
+    /// First-run entry for every task, reached from the trampoline with
+    /// the ABI in a normal post-`call` state.
+    #[no_mangle]
+    extern "C" fn hcft_simmpi_task_entry(task: *const Task) -> ! {
+        {
+            // SAFETY: the trampoline passes the pointer the scheduler
+            // planted in the initial frame; the task outlives its run.
+            let t = unsafe { &*task };
+            let body = unsafe { (*t.body.get()).take() }.expect("task body runs exactly once");
+            // Rank panics are caught (and recorded) inside the body by the
+            // runtime; this catch is the backstop that keeps any stray
+            // unwind from reaching the trampoline frame, which has no
+            // unwind tables.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        }
+        loop {
+            switch_to_worker(Reason::Done);
+        }
+    }
+
+    // ----- scheduler -----------------------------------------------------
+
+    impl TaskSched {
+        /// Build a scheduler running `bodies` (one per rank, rank order)
+        /// on `workers` OS threads with `stack_size`-byte task stacks.
+        pub(crate) fn new(
+            workers: usize,
+            stack_size: usize,
+            watchdog_period: Duration,
+            bodies: Vec<Box<dyn FnOnce() + Send>>,
+        ) -> Arc<Self> {
+            static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+            let n = bodies.len();
+            assert!(n > 0 && workers > 0);
+            let workers = workers.min(n);
+            // Align the stack span so every stack top is 16-aligned, and
+            // keep enough headroom below the deepest frame for the panic
+            // machinery the deadlock watchdog relies on.
+            let stack_size = stack_size.clamp(64 * 1024, 1 << 30) & !4095;
+            let reg = Registry::global();
+            let mut tasks: Vec<Task> = Vec::with_capacity(n);
+            let mut slabs = Vec::new();
+            let mut remaining = n;
+            // ~256 MiB per slab: big enough that 100k ranks need a few
+            // hundred mappings, small enough to not trip overcommit
+            // heuristics on modest machines.
+            let per_slab = ((256 << 20) / stack_size).max(1);
+            while remaining > 0 {
+                let count = remaining.min(per_slab);
+                let layout = std::alloc::Layout::from_size_align(count * stack_size, 4096)
+                    .expect("stack slab layout");
+                // SAFETY: layout is non-zero; allocation checked below.
+                let base = unsafe { std::alloc::alloc(layout) };
+                assert!(!base.is_null(), "stack slab allocation failed");
+                for i in 0..count {
+                    // SAFETY: i < count, so the offset stays in the slab.
+                    let lo = unsafe { base.add(i * stack_size) };
+                    // SAFETY: lo is the bottom of an unused stack.
+                    unsafe { (lo as *mut u64).write(STACK_CANARY) };
+                    tasks.push(Task {
+                        state: AtomicU8::new(READY),
+                        sp: Cell::new(std::ptr::null_mut()),
+                        stack_lo: lo,
+                        deadline: Cell::new(None),
+                        timed_out: Cell::new(false),
+                        body: UnsafeCell::new(None),
+                    });
+                }
+                slabs.push(StackSlab { base, layout });
+                remaining -= count;
+            }
+            // The task vector is complete (no more pushes): pointers into
+            // it are stable, so the initial frames can be planted now.
+            for (task, body) in tasks.iter().zip(bodies) {
+                // SAFETY: single-threaded setup, before any worker runs.
+                unsafe { *task.body.get() = Some(body) };
+                // Initial frame, popped by the first context switch into
+                // the task (descending from the 16-aligned stack top):
+                //   [top-8]  return address -> trampoline
+                //   [top-16] rbp  [top-24] rbx  [top-32] r12 = task ptr
+                //   [top-40] r13  [top-48] r14  [top-56] r15  <- saved rsp
+                // SAFETY: the frame lies entirely within this task's stack.
+                unsafe {
+                    let top = task.stack_lo.add(stack_size);
+                    let top16 = ((top as usize) & !15) as *mut u8;
+                    let sp = top16.sub(56);
+                    (sp as *mut usize).write_bytes(0, 6);
+                    (sp.add(24) as *mut usize).write(task as *const Task as usize);
+                    (sp.add(48) as *mut usize).write(hcft_simmpi_task_tramp as *const () as usize);
+                    task.sp.set(sp);
+                }
+            }
+            let chunk = n.div_ceil(workers);
+            Arc::new(TaskSched {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                tasks,
+                workers: (0..workers)
+                    .map(|_| WorkerShared {
+                        injector: Mutex::new(Vec::new()),
+                        cv: Condvar::new(),
+                        sleeping: Cell::new(false),
+                    })
+                    .collect(),
+                chunk,
+                watchdog_period,
+                metrics: SchedMetrics {
+                    resumes: reg.counter("simmpi.sched.resumes"),
+                    wakes_local: reg.counter("simmpi.sched.wakes_local"),
+                    wakes_remote: reg.counter("simmpi.sched.wakes_remote"),
+                    timeouts: reg.counter("simmpi.sched.timeouts"),
+                },
+                _slabs: slabs,
+            })
+        }
+
+        /// Make a blocked task runnable. Callable from any thread; the
+        /// CAS guarantees exactly one waker wins even when a sender races
+        /// the deadline watchdog. Waking a task that is not blocked (the
+        /// sender's channel hint can be stale for one round trip) is a
+        /// harmless no-op.
+        pub(crate) fn wake(&self, tid: u32) {
+            let t = &self.tasks[tid as usize];
+            if t.state
+                .compare_exchange(BLOCKED, READY, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                return;
+            }
+            let home = tid as usize / self.chunk;
+            // Same-worker fast path: a task waking its neighbour pushes
+            // straight onto the home worker's local queue — no lock, no
+            // condvar. This is the common case under block ownership
+            // (stencil neighbours share a worker).
+            let local = WORKER.with(|w| {
+                let ctl = w.get();
+                if !ctl.is_null() {
+                    // SAFETY: installed by this thread's worker loop.
+                    let ctl = unsafe { &*ctl };
+                    if ctl.sched_id == self.id && ctl.index == home {
+                        ctl.local.borrow_mut().push_back(tid);
+                        return true;
+                    }
+                }
+                false
+            });
+            if local {
+                self.metrics.wakes_local.inc();
+                return;
+            }
+            self.metrics.wakes_remote.inc();
+            let ws = &self.workers[home];
+            let mut inj = ws.injector.lock();
+            inj.push(tid);
+            let sleeping = ws.sleeping.get();
+            drop(inj);
+            if sleeping {
+                ws.cv.notify_one();
+            }
+        }
+
+        /// Spawn the worker pool, run every task to completion, join.
+        /// `on_worker_exit` runs once per worker thread after its last
+        /// task finishes (the buffer-magazine flush hook).
+        pub(crate) fn run(self: &Arc<Self>, on_worker_exit: impl Fn() + Send + Sync + 'static) {
+            let on_exit = Arc::new(on_worker_exit);
+            let handles: Vec<_> = (0..self.workers.len())
+                .map(|w| {
+                    let sched = Arc::clone(self);
+                    let on_exit = Arc::clone(&on_exit);
+                    std::thread::Builder::new()
+                        .name(format!("simmpi-worker-{w}"))
+                        .spawn(move || {
+                            sched.worker_main(w);
+                            on_exit();
+                        })
+                        .expect("spawn simmpi worker")
+                })
+                .collect();
+            for h in handles {
+                if let Err(e) = h.join() {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "<non-string panic>".to_string());
+                    panic!("simmpi worker panicked: {msg}");
+                }
+            }
+        }
+
+        /// One worker: resume runnable owned tasks until all are done.
+        fn worker_main(&self, index: usize) {
+            let lo = index * self.chunk;
+            let hi = (lo + self.chunk).min(self.tasks.len());
+            let ctl = WorkerCtl {
+                sched_id: self.id,
+                index,
+                sched_sp: Cell::new(std::ptr::null_mut()),
+                local: RefCell::new((lo as u32..hi as u32).collect()),
+                reason: Cell::new(Reason::Blocked),
+            };
+            WORKER.with(|w| w.set(&ctl as *const WorkerCtl));
+            let mut live = hi - lo;
+            // Busy workers still owe their blocked tasks a deadline scan
+            // now and then; checking the clock every switch would be pure
+            // overhead, so amortise it over batches of switches.
+            let mut next_scan = Instant::now() + self.watchdog_period;
+            let mut switches = 0u32;
+            while live > 0 {
+                let tid = ctl.local.borrow_mut().pop_front();
+                match tid {
+                    Some(tid) => {
+                        let t = &self.tasks[tid as usize];
+                        self.metrics.resumes.inc();
+                        CURRENT.with(|c| c.set(t as *const Task));
+                        // SAFETY: t.sp holds a context previously saved on
+                        // (or planted in) this task's stack, and only this
+                        // worker resumes it.
+                        unsafe { hcft_simmpi_ctx_switch(ctl.sched_sp.as_ptr(), t.sp.get()) };
+                        CURRENT.with(|c| c.set(std::ptr::null()));
+                        // SAFETY: stack_lo points at this task's canary.
+                        let canary = unsafe { (t.stack_lo as *const u64).read() };
+                        assert!(
+                            canary == STACK_CANARY,
+                            "simmpi task stack overflow (rank {tid}): raise WorldConfig.stack_size"
+                        );
+                        if ctl.reason.get() == Reason::Done {
+                            t.state.store(DONE, Ordering::Release);
+                            live -= 1;
+                        }
+                        switches += 1;
+                        if switches >= 1024 {
+                            switches = 0;
+                            let now = Instant::now();
+                            if now >= next_scan {
+                                next_scan = now + self.watchdog_period;
+                                self.expire_deadlines(&ctl, lo, hi, now);
+                            }
+                        }
+                    }
+                    None => {
+                        let ws = &self.workers[index];
+                        let mut inj = ws.injector.lock();
+                        loop {
+                            if !inj.is_empty() {
+                                ctl.local.borrow_mut().extend(inj.drain(..));
+                                break;
+                            }
+                            drop(inj);
+                            let now = Instant::now();
+                            if self.expire_deadlines(&ctl, lo, hi, now) > 0 {
+                                next_scan = now + self.watchdog_period;
+                                inj = ws.injector.lock();
+                                if !inj.is_empty() {
+                                    ctl.local.borrow_mut().extend(inj.drain(..));
+                                }
+                                break;
+                            }
+                            inj = ws.injector.lock();
+                            if !inj.is_empty() {
+                                continue;
+                            }
+                            ws.sleeping.set(true);
+                            let _ = ws
+                                .cv
+                                .wait_until(&mut inj, Instant::now() + self.watchdog_period);
+                            ws.sleeping.set(false);
+                        }
+                    }
+                }
+            }
+            WORKER.with(|w| w.set(std::ptr::null()));
+        }
+
+        /// Wake owned tasks whose receive deadline has passed, marking
+        /// them timed out first so they resume on the deadlock path. Only
+        /// the home worker calls this for its own range, so the deadline
+        /// cells are safe to read.
+        fn expire_deadlines(&self, ctl: &WorkerCtl, lo: usize, hi: usize, now: Instant) -> usize {
+            let mut woken = 0;
+            for tid in lo..hi {
+                let t = &self.tasks[tid];
+                if t.state.load(Ordering::Acquire) != BLOCKED {
+                    continue;
+                }
+                let Some(deadline) = t.deadline.get() else {
+                    continue;
+                };
+                if now < deadline {
+                    continue;
+                }
+                if t.state
+                    .compare_exchange(BLOCKED, READY, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Flag before queueing: this worker is the only one
+                    // that pops its local queue, so the task cannot run
+                    // before the flag is visible.
+                    t.timed_out.set(true);
+                    self.metrics.timeouts.inc();
+                    ctl.local.borrow_mut().push_back(tid as u32);
+                    woken += 1;
+                }
+            }
+            woken
+        }
+    }
+}
+
+/// Stub for targets without the task engine: `current()` is always
+/// `None` and the scheduler type is never instantiated (the runtime
+/// resolves the engine to thread-per-rank when `SUPPORTED` is false).
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+mod stub {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    pub(crate) struct TaskSched;
+
+    pub(crate) struct CurrentTask;
+
+    pub(crate) fn current() -> Option<CurrentTask> {
+        None
+    }
+
+    impl CurrentTask {
+        pub(crate) fn prepare_block(&self) {}
+        pub(crate) fn block(&self, _deadline: Instant) {}
+        pub(crate) fn take_timed_out(&self) -> bool {
+            false
+        }
+    }
+
+    impl TaskSched {
+        pub(crate) fn new(
+            _workers: usize,
+            _stack_size: usize,
+            _watchdog_period: Duration,
+            _bodies: Vec<Box<dyn FnOnce() + Send>>,
+        ) -> Arc<Self> {
+            unreachable!("task engine unsupported on this target")
+        }
+
+        pub(crate) fn wake(&self, _tid: u32) {}
+
+        pub(crate) fn run(self: &Arc<Self>, _on_worker_exit: impl Fn() + Send + Sync + 'static) {}
+    }
+}

@@ -43,25 +43,31 @@ impl Dir {
 
 /// One rank's solver state (η with halo, face velocities, iteration).
 ///
+/// Fields are stored **column-major**: a tile is a short run of columns
+/// (the paper's 512×2 decomposition gives every rank lnx = 2 columns of
+/// lny = 2048 cells), so walking a column is one long unit-stride sweep
+/// the compiler auto-vectorizes, whereas walking a two-element row is
+/// scalar shuffling. The kernel update is seven contiguous column sweeps
+/// regardless of how narrow the tile is.
+///
 /// West/east halo columns live in dense side arrays rather than embedded
-/// in the η rows: narrow tiles (the paper's 512×2 decomposition has
-/// two-element rows) would otherwise spend half of η's footprint on halo
-/// cells, and installing a received west/east halo would scatter one
-/// store into every cache line of η. With side columns a halo install is
-/// a contiguous copy and the stencil streams a dense η.
+/// in η: they arrive as contiguous messages and install as contiguous
+/// copies. North/south halos occupy the first and last cell of each η
+/// column (η columns are lny+2 long).
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankState {
     d: CartDecomp,
-    /// η interior plus north/south halo rows: lnx × (lny+2), row-major
-    /// (row 0 is the north halo, row lny+1 the south halo).
+    /// η interior plus north/south halo cells: lnx columns of (lny+2),
+    /// column-major (η(i,j) = `eta[i*(lny+2) + j + 1]`; cell 0 of a
+    /// column is the north halo, cell lny+1 the south halo).
     eta: Vec<f64>,
     /// West halo column of η, dense: lny values.
     halo_w: Vec<f64>,
     /// East halo column of η, dense: lny values.
     halo_e: Vec<f64>,
-    /// u on x faces: (lnx+1) × lny.
+    /// u on x faces: (lnx+1) columns of lny (u(i,j) = `u[i*lny + j]`).
     u: Vec<f64>,
-    /// v on y faces: lnx × (lny+1).
+    /// v on y faces: lnx columns of (lny+1) (v(i,j) = `v[i*(lny+1)+j]`).
     v: Vec<f64>,
     iter: u64,
 }
@@ -78,9 +84,9 @@ impl RankState {
             None => CartDecomp::new(params.nx, params.ny, nprocs, rank),
         };
         let mut eta = vec![0.0; d.lnx * (d.lny + 2)];
-        for j in 0..d.lny {
-            for i in 0..d.lnx {
-                eta[(j + 1) * d.lnx + i] = params.initial_eta(d.x0 + i, d.y0 + j);
+        for i in 0..d.lnx {
+            for j in 0..d.lny {
+                eta[i * (d.lny + 2) + j + 1] = params.initial_eta(d.x0 + i, d.y0 + j);
             }
         }
         RankState {
@@ -122,21 +128,22 @@ impl RankState {
     }
 
     /// Extract the edge towards `dir` into caller-owned scratch (cleared
-    /// first): the allocation-free form the solver loop uses. North/south
-    /// edges are contiguous rows and copy as slices; west/east gather a
-    /// strided column.
+    /// first): the allocation-free form the solver loop uses. West/east
+    /// edges — the hot ones in the paper's quasi-1D decomposition — are
+    /// whole contiguous columns and copy as slices; north/south gather
+    /// one cell per column.
     pub fn edge_out_into(&self, dir: Dir, out: &mut Vec<f64>) {
         let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let se = lny + 2;
         out.clear();
-        // West/east gathers walk eta rows with `chunks_exact` rather than
-        // computing `(j + 1) * lnx` per element: the iterator is a pointer
-        // bump and the in-row index check hoists out of the loop.
-        let rows = self.eta[lnx..].chunks_exact(lnx).take(lny);
         match dir {
-            Dir::West => out.extend(rows.map(|row| row[0])),
-            Dir::East => out.extend(rows.map(|row| row[lnx - 1])),
-            Dir::North => out.extend_from_slice(&self.eta[lnx..2 * lnx]),
-            Dir::South => out.extend_from_slice(&self.eta[lny * lnx..(lny + 1) * lnx]),
+            Dir::West => out.extend_from_slice(&self.eta[1..1 + lny]),
+            Dir::East => {
+                let base = (lnx - 1) * se + 1;
+                out.extend_from_slice(&self.eta[base..base + lny]);
+            }
+            Dir::North => out.extend(self.eta.chunks_exact(se).map(|col| col[1])),
+            Dir::South => out.extend(self.eta.chunks_exact(se).map(|col| col[lny])),
         }
     }
 
@@ -144,12 +151,13 @@ impl RankState {
     /// inverse probe of [`RankState::set_halo`], used by the halo
     /// roundtrip property tests and recovery verification.
     pub fn halo_in(&self, dir: Dir) -> Vec<f64> {
-        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let lny = self.d.lny;
+        let se = lny + 2;
         match dir {
             Dir::West => self.halo_w.clone(),
             Dir::East => self.halo_e.clone(),
-            Dir::North => self.eta[..lnx].to_vec(),
-            Dir::South => self.eta[(lny + 1) * lnx..].to_vec(),
+            Dir::North => self.eta.chunks_exact(se).map(|col| col[0]).collect(),
+            Dir::South => self.eta.chunks_exact(se).map(|col| col[lny + 1]).collect(),
         }
     }
 
@@ -159,6 +167,7 @@ impl RankState {
     /// Panics on a wrong edge length.
     pub fn set_halo(&mut self, dir: Dir, vals: &[f64]) {
         let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let se = lny + 2;
         match dir {
             Dir::West => {
                 assert_eq!(vals.len(), lny, "west halo length");
@@ -170,12 +179,15 @@ impl RankState {
             }
             Dir::North => {
                 assert_eq!(vals.len(), lnx, "north halo length");
-                self.eta[..lnx].copy_from_slice(vals);
+                for (col, &x) in self.eta.chunks_exact_mut(se).zip(vals) {
+                    col[0] = x;
+                }
             }
             Dir::South => {
                 assert_eq!(vals.len(), lnx, "south halo length");
-                let base = (lny + 1) * lnx;
-                self.eta[base..base + lnx].copy_from_slice(vals);
+                for (col, &x) in self.eta.chunks_exact_mut(se).zip(vals) {
+                    col[lny + 1] = x;
+                }
             }
         }
     }
@@ -186,6 +198,7 @@ impl RankState {
     /// copied exactly once, η → message.
     pub fn edge_out_bytes(&self, dir: Dir, out: &mut Vec<u8>) {
         let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let se = lny + 2;
         out.clear();
         let n = match dir {
             Dir::West | Dir::East => lny,
@@ -193,26 +206,27 @@ impl RankState {
         };
         out.resize(n * 8, 0);
         let cells = out.chunks_exact_mut(8);
-        let rows = self.eta[lnx..].chunks_exact(lnx);
         match dir {
+            // The hot edges: one contiguous η column straight to wire.
             Dir::West => {
-                for (dst, row) in cells.zip(rows) {
-                    dst.copy_from_slice(&row[0].to_le_bytes());
+                for (dst, &x) in cells.zip(&self.eta[1..1 + lny]) {
+                    dst.copy_from_slice(&x.to_le_bytes());
                 }
             }
             Dir::East => {
-                for (dst, row) in cells.zip(rows) {
-                    dst.copy_from_slice(&row[lnx - 1].to_le_bytes());
+                let base = (lnx - 1) * se + 1;
+                for (dst, &x) in cells.zip(&self.eta[base..base + lny]) {
+                    dst.copy_from_slice(&x.to_le_bytes());
                 }
             }
             Dir::North => {
-                for (dst, &x) in cells.zip(&self.eta[lnx..2 * lnx]) {
-                    dst.copy_from_slice(&x.to_le_bytes());
+                for (dst, col) in cells.zip(self.eta.chunks_exact(se)) {
+                    dst.copy_from_slice(&col[1].to_le_bytes());
                 }
             }
             Dir::South => {
-                for (dst, &x) in cells.zip(&self.eta[lny * lnx..(lny + 1) * lnx]) {
-                    dst.copy_from_slice(&x.to_le_bytes());
+                for (dst, col) in cells.zip(self.eta.chunks_exact(se)) {
+                    dst.copy_from_slice(&col[lny].to_le_bytes());
                 }
             }
         }
@@ -226,184 +240,138 @@ impl RankState {
     /// Panics on a wrong edge length.
     pub fn set_halo_bytes(&mut self, dir: Dir, bytes: &[u8]) {
         let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let se = lny + 2;
         let f = |c: &[u8]| f64::from_le_bytes(c.try_into().expect("f64 cell"));
         let cells = bytes.chunks_exact(8);
-        let dst: &mut [f64] = match dir {
+        match dir {
             Dir::West => {
                 assert_eq!(bytes.len(), lny * 8, "west halo length");
-                &mut self.halo_w
+                for (d, c) in self.halo_w.iter_mut().zip(cells) {
+                    *d = f(c);
+                }
             }
             Dir::East => {
                 assert_eq!(bytes.len(), lny * 8, "east halo length");
-                &mut self.halo_e
+                for (d, c) in self.halo_e.iter_mut().zip(cells) {
+                    *d = f(c);
+                }
             }
             Dir::North => {
                 assert_eq!(bytes.len(), lnx * 8, "north halo length");
-                &mut self.eta[..lnx]
+                for (col, c) in self.eta.chunks_exact_mut(se).zip(cells) {
+                    col[0] = f(c);
+                }
             }
             Dir::South => {
                 assert_eq!(bytes.len(), lnx * 8, "south halo length");
-                &mut self.eta[(lny + 1) * lnx..]
+                for (col, c) in self.eta.chunks_exact_mut(se).zip(cells) {
+                    col[lny + 1] = f(c);
+                }
             }
-        };
-        for (d, c) in dst.iter_mut().zip(cells) {
-            *d = f(c);
         }
     }
 
     /// Advance one step. Halos for this step must already be installed.
     ///
-    /// Two loop orders compute the identical per-element arithmetic —
-    /// field updates have no intra-field dependencies, so element order
-    /// cannot change a single bit: `parallel_matches_sequential_bitwise`
-    /// and the drill's recovered-equals-uninterrupted tests assert bit
-    /// identity across both. Wide tiles sweep x-rows as runtime-width
-    /// slices; narrow tiles — e.g. the paper's 512×2 decomposition,
-    /// whose x-rows are two elements long — dispatch to a const-width
-    /// sweep whose tiny inner loops fully unroll.
+    /// Every sweep walks whole columns — long unit-stride streams of lny
+    /// (2048 at paper scale) elements that auto-vectorize. Loop order is
+    /// free: field updates have no intra-field dependencies and the
+    /// per-element arithmetic and operand order are fixed, so element
+    /// order cannot change a single bit —
+    /// `parallel_matches_sequential_bitwise` and the drill's
+    /// recovered-equals-uninterrupted tests assert bit identity across
+    /// drivers. Domain-boundary faces (closed walls) are assigned 0.0
+    /// after the bulk sweep, keeping the hot loops branch-free.
     pub fn update(&mut self, p: &TsunamiParams) {
-        match self.d.lnx {
-            1 => self.update_tile::<1>(p),
-            2 => self.update_tile::<2>(p),
-            3 => self.update_tile::<3>(p),
-            4 => self.update_tile::<4>(p),
-            _ => self.update_rows(p),
+        let (lnx, lny) = (self.d.lnx, self.d.lny);
+        let se = lny + 2; // η column stride
+        let sv = lny + 1; // v column stride
+        let gdt = GRAVITY * p.dt / p.dx;
+        // u on x faces, one column per face: face 0 pairs the west halo
+        // with η column 0, face lnx pairs η column lnx-1 with the east
+        // halo, interior faces pair adjacent η columns. A face column is
+        // a closed boundary only at the domain's west/east wall.
+        let w_closed = self.d.x0 == 0;
+        let e_closed = self.d.x0 + lnx == p.nx;
+        for (i, u_col) in self.u.chunks_exact_mut(lny).enumerate() {
+            if i == 0 {
+                if w_closed {
+                    u_col.fill(0.0);
+                    continue;
+                }
+                let e = &self.eta[1..1 + lny];
+                for ((u, &er), &hw) in u_col.iter_mut().zip(e).zip(&self.halo_w) {
+                    *u -= gdt * (er - hw);
+                }
+            } else if i == lnx {
+                if e_closed {
+                    u_col.fill(0.0);
+                    continue;
+                }
+                let base = (lnx - 1) * se + 1;
+                let e = &self.eta[base..base + lny];
+                for ((u, &he), &el) in u_col.iter_mut().zip(&self.halo_e).zip(e) {
+                    *u -= gdt * (he - el);
+                }
+            } else {
+                let (lo, hi) = ((i - 1) * se + 1, i * se + 1);
+                let el = &self.eta[lo..lo + lny];
+                let er = &self.eta[hi..hi + lny];
+                for ((u, &er), &el) in u_col.iter_mut().zip(er).zip(el) {
+                    *u -= gdt * (er - el);
+                }
+            }
+        }
+        // v on y faces: within a column, face j sits between η cells j
+        // and j+1 (including the halo cells at the column ends), so the
+        // sweep is η's column shifted against itself. The first/last
+        // face is then re-closed when this rank touches that wall.
+        let n_closed = self.d.y0 == 0;
+        let s_closed = self.d.y0 + lny == p.ny;
+        for (v_col, e_col) in self.v.chunks_exact_mut(sv).zip(self.eta.chunks_exact(se)) {
+            for ((v, &eh), &el) in v_col.iter_mut().zip(&e_col[1..]).zip(e_col) {
+                *v -= gdt * (eh - el);
+            }
+            if n_closed {
+                v_col[0] = 0.0;
+            }
+            if s_closed {
+                v_col[lny] = 0.0;
+            }
+        }
+        // η from the fresh face divergence, column by column.
+        let ddt = p.depth * p.dt / p.dx;
+        for (i, e_col) in self.eta.chunks_exact_mut(se).enumerate() {
+            let u_lo = &self.u[i * lny..(i + 1) * lny];
+            let u_hi = &self.u[(i + 1) * lny..(i + 2) * lny];
+            let v_col = &self.v[i * sv..(i + 1) * sv];
+            for ((((e, &ul), &uh), &vl), &vh) in e_col[1..1 + lny]
+                .iter_mut()
+                .zip(u_lo)
+                .zip(u_hi)
+                .zip(v_col)
+                .zip(&v_col[1..])
+            {
+                let du = uh - ul;
+                let dv = vh - vl;
+                *e -= ddt * (du + dv);
+            }
         }
         self.iter += 1;
     }
 
-    /// Row-sliced sweep for wide tiles: the domain-boundary predicates
-    /// hoist out of the loops (a face is a global boundary only on the
-    /// first or last rank along its axis), so the per-element body is a
-    /// pure load/FMA/store stream the compiler auto-vectorizes.
-    fn update_rows(&mut self, p: &TsunamiParams) {
-        let (lnx, lny) = (self.d.lnx, self.d.lny);
-        let gdt = GRAVITY * p.dt / p.dx;
-        // u on x faces: face i at global x0+i is a closed boundary only
-        // at the domain's west (i == 0 on the first column of ranks) or
-        // east (i == lnx on the last) wall; the interior faces 1..lnx-1
-        // read η pairs from the dense row, the two end faces read the
-        // side halo columns.
-        let w_closed = self.d.x0 == 0;
-        let e_closed = self.d.x0 + lnx == p.nx;
-        for j in 0..lny {
-            let u_row = &mut self.u[j * (lnx + 1)..(j + 1) * (lnx + 1)];
-            let e_row = &self.eta[(j + 1) * lnx..(j + 2) * lnx];
-            if w_closed {
-                u_row[0] = 0.0;
-            } else {
-                u_row[0] -= gdt * (e_row[0] - self.halo_w[j]);
-            }
-            for (i, u) in u_row[1..lnx].iter_mut().enumerate() {
-                *u -= gdt * (e_row[i + 1] - e_row[i]);
-            }
-            if e_closed {
-                u_row[lnx] = 0.0;
-            } else {
-                u_row[lnx] -= gdt * (self.halo_e[j] - e_row[lnx - 1]);
-            }
-        }
-        // v on y faces: whole rows are boundary (at the domain's north or
-        // south wall) or whole rows are interior.
-        let n_closed = self.d.y0 == 0;
-        let s_closed = self.d.y0 + lny == p.ny;
-        for j in 0..=lny {
-            let v_row = &mut self.v[j * lnx..(j + 1) * lnx];
-            if (j == 0 && n_closed) || (j == lny && s_closed) {
-                v_row.fill(0.0);
-            } else {
-                let e_lo = &self.eta[j * lnx..(j + 1) * lnx];
-                let e_hi = &self.eta[(j + 1) * lnx..(j + 2) * lnx];
-                for (i, v) in v_row.iter_mut().enumerate() {
-                    *v -= gdt * (e_hi[i] - e_lo[i]);
-                }
-            }
-        }
-        let ddt = p.depth * p.dt / p.dx;
-        for j in 0..lny {
-            let u_row = &self.u[j * (lnx + 1)..(j + 1) * (lnx + 1)];
-            let v_lo = &self.v[j * lnx..(j + 1) * lnx];
-            let v_hi = &self.v[(j + 1) * lnx..(j + 2) * lnx];
-            let e_row = &mut self.eta[(j + 1) * lnx..(j + 2) * lnx];
-            for (i, e) in e_row.iter_mut().enumerate() {
-                let du = u_row[i + 1] - u_row[i];
-                let dv = v_hi[i] - v_lo[i];
-                *e -= ddt * (du + dv);
-            }
-        }
-    }
-
-    /// Compile-time-width sweep for narrow tiles (the paper's 512×2
-    /// decomposition has two-element x-rows). Rows advance through
-    /// `chunks_exact` iterators — no per-row slice arithmetic — and with
-    /// `LNX` const the two/three-element inner loops fully unroll, so the
-    /// sweep is a straight-line load/FMA/store stream per row. Same
-    /// element arithmetic and operand order as [`RankState::update_rows`].
-    fn update_tile<const LNX: usize>(&mut self, p: &TsunamiParams) {
-        debug_assert_eq!(self.d.lnx, LNX);
-        let lny = self.d.lny;
-        let su = LNX + 1;
-        let gdt = GRAVITY * p.dt / p.dx;
-        let w_closed = self.d.x0 == 0;
-        let e_closed = self.d.x0 + LNX == p.nx;
-        for (((u_row, e_row), &hw), &he) in self
-            .u
-            .chunks_exact_mut(su)
-            .zip(self.eta[LNX..].chunks_exact(LNX))
-            .zip(&self.halo_w)
-            .zip(&self.halo_e)
-        {
-            if w_closed {
-                u_row[0] = 0.0;
-            } else {
-                u_row[0] -= gdt * (e_row[0] - hw);
-            }
-            for i in 1..LNX {
-                u_row[i] -= gdt * (e_row[i] - e_row[i - 1]);
-            }
-            if e_closed {
-                u_row[LNX] = 0.0;
-            } else {
-                u_row[LNX] -= gdt * (he - e_row[LNX - 1]);
-            }
-        }
-        let n_closed = self.d.y0 == 0;
-        let s_closed = self.d.y0 + lny == p.ny;
-        for (j, ((v_row, e_lo), e_hi)) in self
-            .v
-            .chunks_exact_mut(LNX)
-            .zip(self.eta.chunks_exact(LNX))
-            .zip(self.eta[LNX..].chunks_exact(LNX))
-            .enumerate()
-        {
-            if (j == 0 && n_closed) || (j == lny && s_closed) {
-                v_row.fill(0.0);
-            } else {
-                for i in 0..LNX {
-                    v_row[i] -= gdt * (e_hi[i] - e_lo[i]);
-                }
-            }
-        }
-        let ddt = p.depth * p.dt / p.dx;
-        let Self { eta, u, v, .. } = self;
-        for (((e_row, u_row), v_lo), v_hi) in eta[LNX..]
-            .chunks_exact_mut(LNX)
-            .zip(u.chunks_exact(su))
-            .zip(v.chunks_exact(LNX))
-            .zip(v[LNX..].chunks_exact(LNX))
-        {
-            for i in 0..LNX {
-                let du = u_row[i + 1] - u_row[i];
-                let dv = v_hi[i] - v_lo[i];
-                e_row[i] -= ddt * (du + dv);
-            }
-        }
-    }
-
-    /// Interior η, row-major `lnx × lny`.
+    /// Interior η, row-major `lnx × lny` (the presentation layout the
+    /// gather/figure paths expect; transposed out of column storage).
     pub fn local_eta(&self) -> Vec<f64> {
         let (lnx, lny) = (self.d.lnx, self.d.lny);
-        self.eta[lnx..(lny + 1) * lnx].to_vec()
+        let se = lny + 2;
+        let mut out = vec![0.0; lnx * lny];
+        for (i, col) in self.eta.chunks_exact(se).enumerate() {
+            for (j, &x) in col[1..1 + lny].iter().enumerate() {
+                out[j * lnx + i] = x;
+            }
+        }
+        out
     }
 
     /// Exact byte length [`RankState::save_state`] produces — lets

@@ -9,7 +9,7 @@
 //! |---|---|
 //! | [`topology`] | machine model (TSUBAME2 Table I), rank placement, FTI job layout |
 //! | [`graph`] | communication matrices, weighted graphs, clusterings, network metrics |
-//! | [`simmpi`] | thread-per-rank MPI-like runtime with MPICH2 collective algorithms and byte-exact tracing |
+//! | [`simmpi`] | MPI-like runtime multiplexing rank tasks onto an M:N worker pool, with MPICH2 collective algorithms and byte-exact tracing |
 //! | [`tsunami`] | 2-D shallow-water stencil workload (parallel solver bit-identical to its sequential reference) |
 //! | [`erasure`] | GF(2⁸), Reed–Solomon and XOR erasure codes, paper-calibrated encoding-time model |
 //! | [`checkpoint`] | FTI-style multi-level checkpoint store (local / RS-encoded / PFS) over real files |

@@ -12,7 +12,10 @@
 //! receiver drains every channel in stamped order. The same schedule runs
 //! at shard counts 1 (the pre-sharding baseline), 2 (channels forced to
 //! share locks) and 8 (the default), so a FIFO break introduced by the
-//! shard routing itself cannot hide.
+//! shard routing itself cannot hide — and, orthogonally, at task-engine
+//! worker counts 1 (pure cooperative round-robin), 2 (cross-worker wakes
+//! on every remote channel) and the core count (the default), so a FIFO
+//! break introduced by the M:N scheduler's wake path cannot hide either.
 
 use hcft::simmpi::{World, WorldConfig};
 use proptest::prelude::*;
@@ -36,11 +39,25 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
     })
 }
 
-/// Run one schedule at a given shard count and assert per-channel FIFO.
-fn run_schedule(s: &Schedule, shards: usize) {
+/// Worker counts the schedules run at: 1, 2 and the core count
+/// (deduplicated — on a 1- or 2-core box the distinct counts collapse).
+fn worker_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Run one schedule at a given shard and worker count and assert
+/// per-channel FIFO.
+fn run_schedule(s: &Schedule, shards: usize, workers: usize) {
     let channels = s.channels.clone();
     let cfg = WorldConfig {
         mailbox_shards: shards,
+        workers,
         ..WorldConfig::default()
     };
     let result = World::run_with(s.ranks, cfg, move |comm| {
@@ -70,7 +87,8 @@ fn run_schedule(s: &Schedule, shards: usize) {
                 assert_eq!(
                     got,
                     vec![want],
-                    "channel ({src}->{dst}, tag {tag}) out of order with {shards} shard(s)"
+                    "channel ({src}->{dst}, tag {tag}) out of order with \
+                     {shards} shard(s), {workers} worker(s)"
                 );
             }
         }
@@ -101,23 +119,33 @@ proptest! {
     #[test]
     fn fifo_per_channel_survives_sharding(s in arb_schedule()) {
         for shards in [1usize, 2, 8] {
-            run_schedule(&s, shards);
+            run_schedule(&s, shards, 0);
+        }
+    }
+
+    #[test]
+    fn fifo_per_channel_survives_worker_counts(s in arb_schedule()) {
+        for workers in worker_counts() {
+            run_schedule(&s, 0, workers);
         }
     }
 }
 
 /// Deterministic worst case: every rank floods rank 0 on two tags at
 /// once, so all senders hammer one mailbox concurrently and (at 2 shards)
-/// several channels share each lock domain.
+/// several channels share each lock domain. At 2 workers the receiving
+/// task and half the senders live on different workers, so every message
+/// can race a cross-worker wake.
 #[test]
 fn all_to_one_flood_is_fifo() {
     const N: usize = 8;
     const MSGS: u64 = 50;
-    for shards in [1usize, 2, 8] {
+    for (shards, workers) in [(1usize, 0usize), (2, 0), (8, 0), (0, 1), (0, 2)] {
         let result = World::run_with(
             N,
             WorldConfig {
                 mailbox_shards: shards,
+                workers,
                 ..WorldConfig::default()
             },
             |comm| {
