@@ -1,0 +1,178 @@
+//! Replay-engine smoke harness for CI: kills a whole L1 cluster in a
+//! live run, recovers through L2-encoded checkpoints + sender-log
+//! replay, and gates on the only acceptable outcome — a final state
+//! byte-identical to an uninterrupted run — across worker counts and
+//! both `simmpi` scheduler engines.
+//!
+//! ```text
+//! cargo run --release -p hcft-bench --bin replay_smoke
+//! ```
+//!
+//! `BENCH_REPLAY_QUICK=1` shrinks the world and the engine sweep for CI
+//! smoke runs. All `replay.*` counters accumulate in the process-global
+//! telemetry registry and are snapshotted to
+//! `TELEMETRY_replay_smoke.json` (`BENCH_REPLAY_TELEMETRY_OUT`
+//! overrides the path).
+//!
+//! Gates (assert-based, like the other smoke bins):
+//! * every scenario — cluster kill, cluster kill + cascade, node loss
+//!   with a silently corrupted surviving checkpoint — recovers to the
+//!   reference trajectory bit-for-bit;
+//! * the cluster-kill scenario reproduces those exact bytes on every
+//!   (worker count × engine) combination — replay determinism is a
+//!   property of the protocol, not of the schedule;
+//! * cross-cluster messages really were served from sender logs
+//!   (`messages_replayed > 0`) and the feasibility analysis agrees.
+
+use std::time::Instant;
+
+use hcft_cluster::striped;
+use hcft_core::replay::{ReplayConfig, ReplayEngine, TsunamiWorkload};
+use hcft_core::scenario::FaultScenario;
+use hcft_simmpi::Engine;
+use hcft_topology::{NodeId, Placement};
+use hcft_tsunami::TsunamiParams;
+
+struct Shape {
+    nodes: usize,
+    ppn: usize,
+    l1_nodes: usize,
+    l2_size: usize,
+    grid: (usize, usize),
+    total: u64,
+    fail_at: u64,
+}
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("hcft-replay-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn engine(shape: &Shape, tag: &str, workers: usize, eng: Engine) -> ReplayEngine<TsunamiWorkload> {
+    let placement = Placement::block(shape.nodes, shape.ppn);
+    let scheme = striped(&placement, shape.l1_nodes, shape.l2_size);
+    let mut cfg = ReplayConfig::new(store_dir(tag));
+    cfg.workers = workers;
+    cfg.engine = eng;
+    ReplayEngine::new(
+        TsunamiWorkload::new(TsunamiParams::stable(shape.grid.0, shape.grid.1)),
+        placement,
+        scheme,
+        cfg,
+    )
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_REPLAY_QUICK").is_ok();
+    let shape = if quick {
+        Shape {
+            nodes: 8,
+            ppn: 4,
+            l1_nodes: 2,
+            l2_size: 4,
+            grid: (24, 24),
+            total: 14,
+            fail_at: 9,
+        }
+    } else {
+        Shape {
+            nodes: 16,
+            ppn: 4,
+            l1_nodes: 4,
+            l2_size: 8,
+            grid: (48, 48),
+            total: 22,
+            fail_at: 13,
+        }
+    };
+    let clusters = shape.nodes / shape.l1_nodes;
+    eprintln!(
+        "[replay_smoke] {} nodes x {} ranks, {clusters} L1 clusters, L2 groups of {} (quick={quick})",
+        shape.nodes, shape.ppn, shape.l2_size
+    );
+
+    let reference = engine(&shape, "ref", 0, Engine::Auto).reference(shape.total);
+
+    // Scenario sweep: each complication must still land on the exact
+    // reference bytes. The corruption target pairs a lost node with a
+    // surviving neighbour whose striped L2 groups are disjoint from it.
+    let lost = NodeId(shape.l1_nodes as u32);
+    let neighbour = NodeId(shape.l1_nodes as u32 + 1);
+    let scenarios = [
+        (
+            "cluster_kill",
+            FaultScenario::at(shape.fail_at).l1_cluster(1).build(),
+        ),
+        (
+            "cluster_kill_cascade",
+            FaultScenario::at(shape.fail_at)
+                .l1_cluster(1)
+                .cascade(NodeId(0), 1)
+                .build(),
+        ),
+        (
+            "corrupt_checkpoint",
+            FaultScenario::at(shape.fail_at)
+                .node(lost)
+                .corrupt_checkpoint(neighbour)
+                .build(),
+        ),
+    ];
+    for (tag, scenario) in &scenarios {
+        let t = Instant::now();
+        let out = engine(&shape, tag, 0, Engine::Auto)
+            .run(scenario, shape.total)
+            .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e}"));
+        assert!(out.report.feasible(), "{tag}: protocol analysis infeasible");
+        assert!(
+            out.messages_replayed > 0,
+            "{tag}: no cross-cluster messages were served from sender logs"
+        );
+        assert!(
+            out.matches(&reference),
+            "{tag}: recovered state diverged from the uninterrupted run"
+        );
+        eprintln!(
+            "scenario {tag:<22} {:.3} s  attempts={} replayed={} catchup={}  bit-identical",
+            t.elapsed().as_secs_f64(),
+            out.recovery_attempts,
+            out.messages_replayed,
+            out.catchup_steps
+        );
+    }
+
+    // Determinism gate: same scenario, every schedule, same bytes.
+    let sweep: &[(usize, Engine)] = if quick {
+        &[(1, Engine::Threads), (0, Engine::Tasks)]
+    } else {
+        &[
+            (1, Engine::Threads),
+            (2, Engine::Threads),
+            (0, Engine::Threads),
+            (1, Engine::Tasks),
+            (2, Engine::Tasks),
+            (0, Engine::Tasks),
+        ]
+    };
+    let scenario = FaultScenario::at(shape.fail_at).l1_cluster(1).build();
+    for &(workers, eng) in sweep {
+        let tag = format!("det-{workers}-{eng:?}");
+        let out = engine(&shape, &tag, workers, eng)
+            .run(&scenario, shape.total)
+            .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e}"));
+        assert!(
+            out.matches(&reference),
+            "replay diverged with {workers} worker(s) on the {eng:?} engine"
+        );
+        eprintln!("determinism {workers} worker(s) {eng:?}: bit-identical");
+    }
+
+    let telemetry_out = std::env::var("BENCH_REPLAY_TELEMETRY_OUT")
+        .unwrap_or_else(|_| "TELEMETRY_replay_smoke.json".into());
+    hcft_telemetry::Registry::global()
+        .write_json(&telemetry_out)
+        .expect("write telemetry JSON");
+    eprintln!("wrote {telemetry_out}");
+    eprintln!("gates ok");
+}

@@ -5,7 +5,7 @@
 //!       [--partition-engine multilevel|modularity] <artifact>...
 //!
 //! artifacts: table1 table2 fig3a fig3b fig4a fig4b fig4c
-//!            fig5a fig5b fig5c scaling all
+//!            fig5a fig5b fig5c scaling replay all
 //! ```
 //!
 //! `--scale paper` runs the full 1088-rank configuration of §V (64 nodes
@@ -47,6 +47,7 @@ const ALL: &[&str] = &[
     "heat3d",
     "logmem",
     "simtime",
+    "replay",
 ];
 
 fn usage() -> ExitCode {
@@ -123,6 +124,7 @@ fn main() -> ExitCode {
             "heat3d" => figures::heat3d(scale),
             "logmem" => figures::logmem(scale),
             "simtime" => figures::simtime(scale),
+            "replay" => figures::replay(scale),
             _ => unreachable!("validated above"),
         };
         println!("\n================= {} =================\n", artifact.id);

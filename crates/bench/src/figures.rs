@@ -1028,6 +1028,106 @@ pub fn logmem(scale: Scale) -> Artifact {
     }
 }
 
+/// Extension: the live replay engine, measured. Three scenarios of
+/// rising severity run against a striped two-level scheme — single node
+/// loss, a whole-L1-cluster kill, and a cluster kill with a cascading
+/// second failure mid-recovery — each verified bit-identical to an
+/// uninterrupted run. The engine reports through the process-global
+/// registry, so `repro --telemetry` carries the `replay.*` counters.
+pub fn replay(scale: Scale) -> Artifact {
+    use hcft_core::replay::{ReplayConfig, ReplayEngine, TsunamiWorkload};
+    use hcft_core::scenario::FaultScenario;
+    use hcft_topology::NodeId;
+    use hcft_tsunami::TsunamiParams;
+
+    let (nodes, ppn, l1_nodes, l2_size, grid) = match scale {
+        Scale::Paper => (16, 8, 4, 16, (96, 96)),
+        Scale::Small => (8, 4, 2, 8, (32, 32)),
+    };
+    let placement = Placement::block(nodes, ppn);
+    let scheme = hcft_cluster::striped(&placement, l1_nodes, l2_size);
+    let total = 18u64;
+    let fail_at = 13u64;
+    let store = std::env::temp_dir().join(format!("hcft-repro-replay-{}", std::process::id()));
+    let cfg = ReplayConfig::new(&store);
+
+    // A cascade victim outside the primary L1 cluster (cluster 1).
+    let cascade_node = NodeId(0);
+    let scenarios: Vec<(&str, FaultScenario)> = vec![
+        (
+            "node loss",
+            FaultScenario::node_loss(NodeId(l1_nodes as u32), fail_at),
+        ),
+        (
+            "L1 cluster kill",
+            FaultScenario::at(fail_at).l1_cluster(1).build(),
+        ),
+        (
+            "cluster kill + cascade",
+            FaultScenario::at(fail_at)
+                .l1_cluster(1)
+                .cascade(cascade_node, 1)
+                .build(),
+        ),
+    ];
+
+    let engine = ReplayEngine::new(
+        TsunamiWorkload::new(TsunamiParams::stable(grid.0, grid.1)),
+        placement,
+        scheme,
+        cfg,
+    );
+    let reference = engine.reference(total);
+    let mut rows = Vec::new();
+    let mut report = String::from(
+        "REPLAY (extension) — live cluster-loss recovery, bit-exact catch-up\n\n\
+         scenario                  nodes  restart  attempts  replayed msgs  catchup  identical\n",
+    );
+    for (name, scenario) in &scenarios {
+        // Each run needs a fresh store: the engine owns its epochs.
+        let _ = std::fs::remove_dir_all(&store);
+        let out = engine.run(scenario, total).expect("scenario recoverable");
+        let identical = out.matches(&reference);
+        report.push_str(&format!(
+            "{:<24} {:>6} {:>8} {:>9} {:>14} {:>8}  {}\n",
+            name,
+            out.failed_nodes.len(),
+            out.restart_set.len(),
+            out.recovery_attempts,
+            out.messages_replayed,
+            out.catchup_steps,
+            if identical { "YES" } else { "NO" },
+        ));
+        rows.push(vec![
+            name.to_string(),
+            out.failed_nodes.len().to_string(),
+            out.restart_set.len().to_string(),
+            out.recovery_attempts.to_string(),
+            out.messages_replayed.to_string(),
+            out.bytes_replayed.to_string(),
+            out.catchup_steps.to_string(),
+            out.wasted_catchup_steps.to_string(),
+            identical.to_string(),
+        ]);
+        assert!(identical, "{name}: replayed state diverged");
+    }
+    let _ = std::fs::remove_dir_all(&store);
+    report.push_str(
+        "\nEvery scenario recovers to a state byte-identical to an uninterrupted\n\
+         run: checkpoints restore the restart set, sender logs re-feed the\n\
+         cross-cluster halos, send-determinism regenerates the rest.\n",
+    );
+    Artifact {
+        id: "replay",
+        report,
+        csv: vec![CsvFile::new(
+            "ext_replay_scenarios.csv",
+            "scenario,failed_nodes,restart_ranks,attempts,messages_replayed,bytes_replayed,catchup_steps,wasted_catchup_steps,bit_identical",
+            &rows,
+        )],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -365,7 +365,7 @@ impl MultilevelCheckpointer {
         }
         for &r in members {
             let node = self.placement.node_of(r);
-            match self.store.read_parity(node, group, epoch) {
+            match self.store.read_parity(node, r.idx(), group, epoch) {
                 Ok(p) => shards.push(p),
                 Err(_) => return false,
             }
@@ -411,7 +411,10 @@ impl MultilevelCheckpointer {
             let node = self.placement.node_of(r);
             parity_bytes += parity[i].len() as u64;
             result = result
-                .and_then(|()| self.store.write_parity(node, group, epoch, &parity[i]))
+                .and_then(|()| {
+                    self.store
+                        .write_parity(node, r.idx(), group, epoch, &parity[i])
+                })
                 .and_then(|()| self.store.write_meta(node, group, epoch, padded as u64));
         }
         self.return_scratch(parity);
@@ -610,7 +613,7 @@ impl MultilevelCheckpointer {
                 d.resize(padded, 0);
                 shards[i] = Some(d);
             }
-            if let Ok(p) = self.store.read_parity(node, group, epoch) {
+            if let Ok(p) = self.store.read_parity(node, r.idx(), group, epoch) {
                 shards[s + i] = Some(p);
             }
         }
@@ -634,6 +637,7 @@ impl MultilevelCheckpointer {
                 )?;
                 self.store.write_parity(
                     node,
+                    r.idx(),
                     group,
                     epoch,
                     shards[s + i].as_ref().expect("rebuilt"),

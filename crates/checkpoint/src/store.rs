@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! root/
-//!   nodes/node_<n>/rank_<r>_epoch_<e>.ckpt       local checkpoints
-//!   nodes/node_<n>/group_<g>_epoch_<e>.parity    colocated parity shard
-//!   nodes/node_<n>/group_<g>_epoch_<e>.meta      padded shard length
+//!   nodes/node_<n>/rank_<r>_epoch_<e>.ckpt              local checkpoints
+//!   nodes/node_<n>/rank_<r>_group_<g>_epoch_<e>.parity  that member's parity shard
+//!   nodes/node_<n>/group_<g>_epoch_<e>.meta             padded shard length
 //!   pfs/rank_<r>_epoch_<e>.ckpt                  level-3 checkpoints
 //! ```
 //!
@@ -66,9 +66,9 @@ impl CheckpointStore {
             .join(format!("group_{group}_epoch_{epoch}.xor"))
     }
 
-    fn parity_path(&self, node: NodeId, group: usize, epoch: u64) -> PathBuf {
+    fn parity_path(&self, node: NodeId, rank: usize, group: usize, epoch: u64) -> PathBuf {
         self.node_dir(node)
-            .join(format!("group_{group}_epoch_{epoch}.parity"))
+            .join(format!("rank_{rank}_group_{group}_epoch_{epoch}.parity"))
     }
 
     fn meta_path(&self, node: NodeId, group: usize, epoch: u64) -> PathBuf {
@@ -123,20 +123,29 @@ impl CheckpointStore {
         fs::read(self.xor_path(node, group, epoch))
     }
 
-    /// Write the parity shard a node holds for its encoding group.
+    /// Write the parity shard held by `rank` for its encoding group.
+    /// Keyed by the member rank — a node hosting several members of one
+    /// group stores one distinct parity shard per member.
     pub fn write_parity(
         &self,
         node: NodeId,
+        rank: usize,
         group: usize,
         epoch: u64,
         data: &[u8],
     ) -> io::Result<()> {
-        fs::write(self.parity_path(node, group, epoch), data)
+        fs::write(self.parity_path(node, rank, group, epoch), data)
     }
 
-    /// Read a node's parity shard for a group.
-    pub fn read_parity(&self, node: NodeId, group: usize, epoch: u64) -> io::Result<Vec<u8>> {
-        fs::read(self.parity_path(node, group, epoch))
+    /// Read the parity shard `rank` holds for a group.
+    pub fn read_parity(
+        &self,
+        node: NodeId,
+        rank: usize,
+        group: usize,
+        epoch: u64,
+    ) -> io::Result<Vec<u8>> {
+        fs::read(self.parity_path(node, rank, group, epoch))
     }
 
     /// Record the padded shard length for a group's epoch on a node
@@ -185,6 +194,17 @@ impl CheckpointStore {
     /// Does this rank's local checkpoint exist?
     pub fn has_local(&self, node: NodeId, rank: usize, epoch: u64) -> bool {
         self.local_path(node, rank, epoch).exists()
+    }
+
+    /// Remove a single rank's local checkpoint shard — the recovery
+    /// engine quarantines a shard this way after `restore_state` rejects
+    /// its payload ([`hcft_telemetry::HcftError::Recovery`]): with the
+    /// silently-corrupt copy gone, the next [`recover`] pass treats the
+    /// rank as lost and rebuilds the true bytes from group redundancy.
+    ///
+    /// [`recover`]: crate::multilevel::MultilevelCheckpointer::recover
+    pub fn quarantine_local(&self, node: NodeId, rank: usize, epoch: u64) -> io::Result<()> {
+        fs::remove_file(self.local_path(node, rank, epoch))
     }
 
     /// Bytes stored on one node (local + parity + meta).
@@ -297,10 +317,15 @@ pub(crate) mod tests {
     fn parity_and_meta_roundtrip() {
         let (_d, s) = temp_store(1);
         let n = hcft_topology::NodeId(0);
-        s.write_parity(n, 7, 2, &[1, 2, 3]).expect("parity");
+        s.write_parity(n, 4, 7, 2, &[1, 2, 3]).expect("parity");
         s.write_meta(n, 7, 2, 999).expect("meta");
-        assert_eq!(s.read_parity(n, 7, 2).expect("read"), vec![1, 2, 3]);
+        assert_eq!(s.read_parity(n, 4, 7, 2).expect("read"), vec![1, 2, 3]);
         assert_eq!(s.read_meta(n, 7, 2).expect("read"), 999);
+        // Parity shards are keyed per member: a second member of the same
+        // group on the same node must not clobber the first.
+        s.write_parity(n, 5, 7, 2, &[9, 9]).expect("parity");
+        assert_eq!(s.read_parity(n, 4, 7, 2).expect("read"), vec![1, 2, 3]);
+        assert_eq!(s.read_parity(n, 5, 7, 2).expect("read"), vec![9, 9]);
     }
 
     #[test]
@@ -329,7 +354,7 @@ pub(crate) mod tests {
         let (_d, s) = temp_store(1);
         let n = hcft_topology::NodeId(0);
         s.write_local(n, 0, 0, &[0u8; 100]).expect("write");
-        s.write_parity(n, 0, 0, &[0u8; 50]).expect("parity");
+        s.write_parity(n, 0, 0, 0, &[0u8; 50]).expect("parity");
         assert_eq!(s.node_bytes(n).expect("size"), 150);
     }
 }

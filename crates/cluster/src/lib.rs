@@ -29,7 +29,7 @@ pub use baseline::BaselineRequirements;
 pub use evaluator::{Evaluator, FourDScore};
 pub use hcft_telemetry::HcftError;
 pub use strategies::{
-    distributed, hierarchical, naive, size_guided, ClusteringScheme, HierarchicalConfig,
+    distributed, hierarchical, naive, size_guided, striped, ClusteringScheme, HierarchicalConfig,
     PartitionEngine,
 };
 pub use strategy::{

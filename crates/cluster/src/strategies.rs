@@ -33,6 +33,43 @@ impl ClusteringScheme {
             l2: c,
         }
     }
+
+    /// The distinct nodes hosting L1 cluster `cluster`'s members, in
+    /// first-appearance order. This is the blast radius of "kill that
+    /// whole cluster": failing exactly these nodes takes down every
+    /// member (plus any co-located ranks of other clusters, which the
+    /// restart-set computation then picks up).
+    pub fn nodes_of_l1(&self, placement: &Placement, cluster: usize) -> Vec<NodeId> {
+        let mut nodes = Vec::new();
+        for &r in self.l1.members(cluster) {
+            let n = placement.node_of(r);
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        nodes
+    }
+
+    /// Does losing `failed` nodes defeat this scheme's L2 redundancy?
+    ///
+    /// True when any L2 encoding cluster loses more members than its
+    /// RS(s, s) tolerance ([`hcft_reliability::model::fti_tolerance`]) — the
+    /// catastrophic case: the data is unrecoverable without a PFS copy.
+    /// Shared by the Monte-Carlo campaign and `FaultScenario` resolution
+    /// so both judge catastrophes identically.
+    pub fn defeated_by(&self, placement: &Placement, failed: &[NodeId]) -> bool {
+        let mut down = vec![false; placement.nodes()];
+        for &n in failed {
+            down[n.idx()] = true;
+        }
+        self.l2.iter().any(|(_, members)| {
+            let lost = members
+                .iter()
+                .filter(|&&r| down[placement.node_of(r).idx()])
+                .count();
+            lost > hcft_reliability::model::fti_tolerance(members.len())
+        })
+    }
 }
 
 /// §III-A — naïve clustering: consecutive ranks in clusters of `size`
@@ -102,6 +139,43 @@ pub fn distributed(placement: &Placement, size: usize) -> ClusteringScheme {
         format!("distributed ({size} pr.)"),
         Clustering::from_members(placement.nprocs(), clusters),
     )
+}
+
+/// Two-level scheme built to survive the loss of a *whole* L1 cluster:
+/// L1 (containment) clusters are consecutive blocks of `l1_nodes` nodes,
+/// while L2 (encoding) groups of `l2_size` ranks stride across the rank
+/// space so every group spreads over many L1 clusters. Killing all nodes
+/// of one L1 cluster then costs each L2 group only
+/// `l1_nodes·ppn / (nprocs/l2_size)` members — keep that at or below
+/// [`hcft_reliability::model::fti_tolerance`]`(l2_size)` and the dead
+/// cluster's checkpoints remain RS-rebuildable from survivors' parity.
+/// This is the layout the live replay engine's cluster-kill scenarios
+/// assume.
+///
+/// # Panics
+/// Panics if `nprocs` is not divisible by `l2_size`, if the node count is
+/// not divisible by `l1_nodes`, or if the layout is not uniform.
+pub fn striped(placement: &Placement, l1_nodes: usize, l2_size: usize) -> ClusteringScheme {
+    let nprocs = placement.nprocs();
+    let nodes = placement.nodes();
+    assert!(
+        l1_nodes >= 1 && nodes.is_multiple_of(l1_nodes),
+        "{nodes} nodes vs L1 blocks of {l1_nodes}"
+    );
+    assert!(
+        l2_size >= 2 && nprocs.is_multiple_of(l2_size),
+        "{nprocs} ranks vs L2 groups of {l2_size}"
+    );
+    let groups = nprocs / l2_size;
+    let l1_assign: Vec<usize> = (0..nprocs)
+        .map(|r| placement.node_of(Rank::from(r)).idx() / l1_nodes)
+        .collect();
+    let l2_assign: Vec<usize> = (0..nprocs).map(|r| r % groups).collect();
+    ClusteringScheme {
+        name: format!("striped (L1 {l1_nodes} nodes, L2 {l2_size} pr.)"),
+        l1: Arc::new(Clustering::from_assignment(&l1_assign)),
+        l2: Arc::new(Clustering::from_assignment(&l2_assign)),
+    }
 }
 
 /// Which engine computes the L1 node partition.
@@ -269,6 +343,32 @@ mod tests {
             g.set_vertex_weight(n, 1);
         }
         g
+    }
+
+    #[test]
+    fn striped_survives_a_whole_l1_cluster_loss() {
+        // 16 nodes x 4 ranks; L1 = 4-node blocks (4 clusters of 16
+        // ranks), L2 = 8 strided groups of 8. A full L1 cluster is 16
+        // consecutive ranks = 2 members of each L2 group; tolerance is
+        // fti_tolerance(8) = 4, so the kill stays recoverable.
+        let placement = Placement::block(16, 4);
+        let s = striped(&placement, 4, 8);
+        assert_eq!(s.l1.len(), 4);
+        assert_eq!(s.l2.len(), 8);
+        for c in 0..s.l1.len() {
+            let nodes = s.nodes_of_l1(&placement, c);
+            assert_eq!(nodes.len(), 4);
+            assert!(
+                !s.defeated_by(&placement, &nodes),
+                "losing all of L1 cluster {c} must not defeat L2"
+            );
+        }
+        // But losing two whole L1 clusters (4 of 8 members per group)
+        // crosses the tolerance boundary only at 5+, so check 3 clusters.
+        let mut nodes = s.nodes_of_l1(&placement, 0);
+        nodes.extend(s.nodes_of_l1(&placement, 1));
+        nodes.extend(s.nodes_of_l1(&placement, 2));
+        assert!(s.defeated_by(&placement, &nodes));
     }
 
     #[test]

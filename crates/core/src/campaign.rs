@@ -11,9 +11,10 @@
 
 use hcft_cluster::ClusteringScheme;
 use hcft_msglog::HybridProtocol;
-use hcft_reliability::model::fti_tolerance;
 use hcft_reliability::{EventDistribution, FailureArrivals};
 use hcft_topology::{NodeId, Placement, Rank};
+
+use crate::scenario::FaultScenario;
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::Rng;
@@ -155,17 +156,23 @@ fn run_trial(
             .into_iter()
             .map(NodeId::from)
             .collect();
-        if is_catastrophic(scheme, placement, &failed_nodes) {
+        // Each sampled event becomes a FaultScenario, so the campaign
+        // judges catastrophes with exactly the rule every other
+        // fault-injection surface uses (ClusteringScheme::defeated_by).
+        let event = FaultScenario::nodes_loss(&failed_nodes, (t_h * 3600.0) as u64);
+        if event
+            .is_catastrophic(placement, scheme, None)
+            .expect("sampled nodes are in range")
+        {
             acc.catastrophic += 1.0;
             acc.waste_s += cfg.catastrophic_penalty_s;
             continue;
         }
         // Contained recovery: the affected L1 clusters redo the work
         // since their last checkpoint.
-        let failed_ranks: Vec<Rank> = failed_nodes
-            .iter()
-            .flat_map(|&n| placement.ranks_on(n).iter().copied())
-            .collect();
+        let failed_ranks: Vec<Rank> = event
+            .failed_ranks(placement, scheme, None)
+            .expect("sampled nodes are in range");
         let restart = protocol.restart_set(&failed_ranks).len() as f64;
         let since_ckpt = (t_h * 3600.0) % cfg.checkpoint_interval_s;
         acc.waste_s += (restart / nprocs) * (since_ckpt + cfg.recovery_latency_s);
@@ -187,21 +194,6 @@ fn draw_class(events: &EventDistribution, rng: &mut StdRng) -> Option<usize> {
         u -= p;
     }
     Some(1)
-}
-
-/// Does losing `failed` nodes defeat some L2 encoding cluster?
-fn is_catastrophic(scheme: &ClusteringScheme, placement: &Placement, failed: &[NodeId]) -> bool {
-    let mut down = vec![false; placement.nodes()];
-    for &n in failed {
-        down[n.idx()] = true;
-    }
-    scheme.l2.iter().any(|(_, members)| {
-        let lost = members
-            .iter()
-            .filter(|&&r| down[placement.node_of(r).idx()])
-            .count();
-        lost > fti_tolerance(members.len())
-    })
 }
 
 #[cfg(test)]

@@ -31,6 +31,8 @@ use hcft_telemetry::{EventKind, HcftError, Registry};
 use hcft_topology::{NodeId, Placement, Rank};
 use hcft_tsunami::{Dir, RankState, TsunamiParams};
 
+use crate::scenario::FaultScenario;
+
 fn dir_tag(dir: Dir) -> u32 {
     match dir {
         Dir::West => 0,
@@ -259,9 +261,46 @@ impl LockstepDrill {
         Ok(())
     }
 
+    /// Inject the primary failure of a [`FaultScenario`]: advance the
+    /// drill to the scenario's phase (checkpointing on the configured
+    /// cadence), then kill every node it resolves to. Returns the ranks
+    /// now dead; follow with [`LockstepDrill::recover`].
+    ///
+    /// Mid-recovery injections (cascades, corrupted checkpoints,
+    /// failure-during-encoding) need a live world and belong to
+    /// [`crate::replay::ReplayEngine`]; scenarios carrying them are
+    /// rejected here.
+    pub fn inject(&mut self, scenario: &FaultScenario) -> Result<Vec<Rank>, HcftError> {
+        if !scenario.injections().is_empty() {
+            return Err(HcftError::Config(
+                "the lockstep drill injects primary losses only; \
+                 run scenarios with injections through the replay engine"
+                    .to_string(),
+            ));
+        }
+        if self.phase > scenario.at_phase() {
+            return Err(HcftError::Config(format!(
+                "drill is at phase {}, past the scenario's phase {}",
+                self.phase,
+                scenario.at_phase()
+            )));
+        }
+        self.run_to(scenario.at_phase())?;
+        let nodes = scenario.failed_nodes(&self.placement, &self.scheme, None)?;
+        for &node in &nodes {
+            self.kill_node(node)?;
+        }
+        Ok(self.dead_ranks())
+    }
+
     /// Kill a node: its ranks lose their in-memory state and its on-disk
     /// checkpoint data is destroyed.
+    #[deprecated(note = "describe the failure with a FaultScenario and call inject()")]
     pub fn inject_node_failure(&mut self, node: NodeId) -> Result<(), HcftError> {
+        self.kill_node(node)
+    }
+
+    fn kill_node(&mut self, node: NodeId) -> Result<(), HcftError> {
         let mut lost = 0u64;
         for &r in self.placement.ranks_on(node) {
             if self.states[r.idx()].take().is_some() {
@@ -502,9 +541,11 @@ mod tests {
     fn node_failure_recovery_is_bit_identical() {
         let dir = TempDir::new();
         let mut drill = hierarchical_drill(&dir);
-        drill.run_to(13).expect("run"); // checkpoints at 5 and 10
-        drill.inject_node_failure(NodeId(5)).expect("kill");
-        assert_eq!(drill.dead_ranks().len(), 4);
+        // Checkpoints at 5 and 10 on the way to phase 13.
+        let dead = drill
+            .inject(&FaultScenario::node_loss(NodeId(5), 13))
+            .expect("kill");
+        assert_eq!(dead.len(), 4);
         let restarted = drill.recover().expect("recover");
         // Hierarchical: exactly one L1 cluster (4 nodes × 4 ranks).
         assert_eq!(restarted.len(), 16);
@@ -519,8 +560,10 @@ mod tests {
     fn failure_right_after_checkpoint_replays_nothing() {
         let dir = TempDir::new();
         let mut drill = hierarchical_drill(&dir);
-        drill.run_to(10).expect("run"); // checkpoint at exactly 10
-        drill.inject_node_failure(NodeId(0)).expect("kill");
+        // Checkpoint lands at exactly 10, the failure phase.
+        drill
+            .inject(&FaultScenario::node_loss(NodeId(0), 10))
+            .expect("kill");
         drill.recover().expect("recover");
         assert_eq!(drill.global_eta(), reference_field(&drill, 10));
     }
@@ -529,12 +572,12 @@ mod tests {
     fn two_node_failure_same_l1_cluster_recovers() {
         let dir = TempDir::new();
         let mut drill = hierarchical_drill(&dir);
-        drill.run_to(8).expect("run");
         // Nodes 4 and 5 are in the same L1 cluster (chain partition into
         // consecutive quads) and the same L2 groups — RS(4,4) tolerates
         // two lost nodes.
-        drill.inject_node_failure(NodeId(4)).expect("kill");
-        drill.inject_node_failure(NodeId(5)).expect("kill");
+        drill
+            .inject(&FaultScenario::at(8).nodes(&[NodeId(4), NodeId(5)]).build())
+            .expect("kill");
         let restarted = drill.recover().expect("recover");
         assert_eq!(restarted.len(), 16, "one L1 cluster restarts");
         assert_eq!(drill.global_eta(), reference_field(&drill, 8));
@@ -556,14 +599,74 @@ mod tests {
             },
         )
         .expect("drill");
-        drill.run_to(6).expect("run");
-        drill.inject_node_failure(NodeId(3)).expect("kill");
+        drill
+            .inject(&FaultScenario::node_loss(NodeId(3), 6))
+            .expect("kill");
         let restarted = drill.recover().expect("recover");
         // Node 3's 2 ranks belong to 2 different distributed clusters of
         // 4, which together span 8 ranks of 16… the paper's restart
         // amplification, live.
         assert_eq!(restarted.len(), 8);
         assert_eq!(drill.global_eta(), reference_field(&drill, 6));
+    }
+
+    #[test]
+    fn scenario_targeting_an_l1_cluster_kills_all_its_nodes() {
+        // Needs L2 groups that stride across L1 clusters: with the
+        // hierarchical scheme (L2 inside L1), a whole-cluster kill is
+        // catastrophic by construction.
+        let dir = TempDir::new();
+        let placement = Placement::block(16, 4);
+        let mut drill = LockstepDrill::new(
+            placement,
+            hcft_cluster::striped(&Placement::block(16, 4), 4, 8),
+            DrillConfig {
+                grid: (32, 32),
+                checkpoint_every: 5,
+                level: Level::Encoded,
+                store_root: dir.0.clone(),
+            },
+        )
+        .expect("drill");
+        let dead = drill
+            .inject(&FaultScenario::at(13).l1_cluster_of(Rank(20)).build())
+            .expect("kill");
+        assert_eq!(dead.len(), 16, "whole L1 cluster (4 nodes x 4 ranks)");
+        let restarted = drill.recover().expect("recover");
+        assert_eq!(restarted.len(), 16);
+        assert_eq!(drill.global_eta(), reference_field(&drill, 13));
+    }
+
+    #[test]
+    fn drill_rejects_scenarios_with_injections_or_past_phases() {
+        let dir = TempDir::new();
+        let mut drill = hierarchical_drill(&dir);
+        let with_injection = FaultScenario::at(5)
+            .node(NodeId(0))
+            .cascade(NodeId(1), 2)
+            .build();
+        assert!(matches!(
+            drill.inject(&with_injection),
+            Err(HcftError::Config(_))
+        ));
+        drill.run_to(8).expect("run");
+        let in_the_past = FaultScenario::node_loss(NodeId(0), 5);
+        assert!(matches!(
+            drill.inject(&in_the_past),
+            Err(HcftError::Config(_))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_node_failure_shim_still_kills() {
+        let dir = TempDir::new();
+        let mut drill = hierarchical_drill(&dir);
+        drill.run_to(7).expect("run");
+        drill.inject_node_failure(NodeId(5)).expect("kill");
+        assert_eq!(drill.dead_ranks().len(), 4);
+        drill.recover().expect("recover");
+        assert_eq!(drill.global_eta(), reference_field(&drill, 7));
     }
 
     #[test]

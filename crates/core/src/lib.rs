@@ -16,11 +16,19 @@
 //!   checkpoints deleted), its L1 cluster rolls back, lost shards are
 //!   Reed–Solomon-rebuilt, cross-cluster halos are replayed from sender
 //!   logs — and the recovered global field is bit-identical to an
-//!   uninterrupted run.
+//!   uninterrupted run;
+//! * [`replay`] — the live replay engine: kill an entire L1 cluster (or
+//!   PSU group) of a *running* `simmpi` world, restore its ranks from
+//!   L2-encoded checkpoints, and re-feed logged inter-cluster messages
+//!   until the restored ranks catch up — with cascading failures,
+//!   corrupted checkpoints and failures-during-encoding injectable via
+//!   the unified [`scenario::FaultScenario`] API.
 
 pub mod campaign;
 pub mod drill;
 pub mod experiment;
+pub mod replay;
+pub mod scenario;
 
 pub use campaign::{simulate_campaign, CampaignConfig, CampaignOutcome};
 pub use drill::{DrillConfig, LockstepDrill};
@@ -28,3 +36,7 @@ pub use experiment::{
     run_traced_job, EvaluatedSchemes, TraceResult, TracedJobConfig, TracedJobConfigBuilder,
 };
 pub use hcft_telemetry::{Event, EventKind, HcftError, Registry, Snapshot};
+pub use replay::{
+    Heat3dWorkload, ReplayConfig, ReplayEngine, ReplayOutcome, ReplayWorkload, TsunamiWorkload,
+};
+pub use scenario::{FaultScenario, FaultScenarioBuilder, FaultTarget, Injection};

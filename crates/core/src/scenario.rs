@@ -1,0 +1,393 @@
+//! `FaultScenario` — one description of "what fails, when, and how it is
+//! correlated", consumed by every fault-injection entry point.
+//!
+//! Before this type existed, each layer had its own ad-hoc surface: the
+//! lockstep drill took a bare `NodeId`, the Monte-Carlo campaign sampled
+//! `Vec<NodeId>` internally, and the replay engine did not exist. A
+//! scenario unifies them: build one with [`FaultScenario::at`], aim it at
+//! a node, a whole L1 cluster, or a PSU group ([`FaultTarget`]), attach
+//! mid-recovery injections ([`Injection`]), and hand the same value to
+//! [`crate::drill::LockstepDrill::inject`], the
+//! [`crate::replay::ReplayEngine`], or campaign-style analysis.
+//!
+//! Targets are *symbolic* until [`FaultScenario::failed_nodes`] resolves
+//! them against a concrete placement + clustering (+ machine, for PSU
+//! correlation), so one scenario is reusable across schemes and scales.
+
+use hcft_cluster::ClusteringScheme;
+use hcft_telemetry::HcftError;
+use hcft_topology::{MachineSpec, NodeId, Placement, Rank};
+
+/// What fails. Symbolic — resolved against a placement/scheme at use time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A single compute node.
+    Node(NodeId),
+    /// Every node hosting a member of L1 cluster `index` — the paper's
+    /// "kill a whole cluster" experiment.
+    L1Cluster(usize),
+    /// Every node hosting a member of the L1 cluster containing `rank`.
+    L1ClusterOf(Rank),
+    /// All nodes sharing a power supply with `node` — the correlated
+    /// failure mode of §II (requires a [`MachineSpec`] at resolve time).
+    PsuGroupOf(NodeId),
+}
+
+/// A secondary fault injected on top of the primary loss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Injection {
+    /// `node` also fails after the recovery has replayed `after_steps`
+    /// iterations — a cascading failure mid-recovery. Recovery must
+    /// enlarge the failed set and start over.
+    CascadeAfter {
+        /// The additional node that fails.
+        node: NodeId,
+        /// Replayed iterations before the cascade strikes.
+        after_steps: u64,
+    },
+    /// `node`'s local checkpoint shards are silently corrupted (valid
+    /// frame, wrong payload length) before recovery reads them. Detected
+    /// only when `restore_state` rejects the payload with
+    /// [`HcftError::Recovery`]; recovery quarantines the shard and
+    /// rebuilds it from group redundancy.
+    CorruptCheckpoint {
+        /// The surviving node whose shards are corrupted.
+        node: NodeId,
+    },
+    /// The primary failure strikes *during* L2 encoding of the checkpoint
+    /// taken at the failure phase: locals are written, but the failed
+    /// node's groups never finish their parity, so that epoch is
+    /// incomplete and recovery must fall back to the previous one (with
+    /// correspondingly longer log replay).
+    FailDuringEncoding,
+}
+
+/// A complete fault scenario: primary targets, timing, and injections.
+///
+/// Build with [`FaultScenario::at`]:
+///
+/// ```
+/// use hcft_core::scenario::FaultScenario;
+/// use hcft_topology::{NodeId, Rank};
+///
+/// let scenario = FaultScenario::at(9)
+///     .l1_cluster_of(Rank(12))
+///     .cascade(NodeId(0), 2)
+///     .build();
+/// assert_eq!(scenario.at_phase(), 9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultScenario {
+    at_phase: u64,
+    targets: Vec<FaultTarget>,
+    injections: Vec<Injection>,
+}
+
+impl FaultScenario {
+    /// Start building a scenario whose primary failure strikes when the
+    /// application reaches iteration `phase`.
+    pub fn at(phase: u64) -> FaultScenarioBuilder {
+        FaultScenarioBuilder {
+            s: FaultScenario {
+                at_phase: phase,
+                targets: Vec::new(),
+                injections: Vec::new(),
+            },
+        }
+    }
+
+    /// Shorthand: a single node lost at `phase`, no injections.
+    pub fn node_loss(node: NodeId, phase: u64) -> Self {
+        Self::at(phase).node(node).build()
+    }
+
+    /// Shorthand: several nodes lost simultaneously at `phase`.
+    pub fn nodes_loss(nodes: &[NodeId], phase: u64) -> Self {
+        let mut b = Self::at(phase);
+        for &n in nodes {
+            b = b.node(n);
+        }
+        b.build()
+    }
+
+    /// Iteration at which the primary failure strikes.
+    pub fn at_phase(&self) -> u64 {
+        self.at_phase
+    }
+
+    /// The symbolic targets.
+    pub fn targets(&self) -> &[FaultTarget] {
+        &self.targets
+    }
+
+    /// The attached injections.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Is a [`Injection::FailDuringEncoding`] attached?
+    pub fn fails_during_encoding(&self) -> bool {
+        self.injections
+            .iter()
+            .any(|i| matches!(i, Injection::FailDuringEncoding))
+    }
+
+    /// Resolve the primary targets to concrete failed nodes, in
+    /// first-appearance order without duplicates.
+    ///
+    /// `machine` is only consulted for [`FaultTarget::PsuGroupOf`];
+    /// resolving a PSU target without one is a configuration error.
+    pub fn failed_nodes(
+        &self,
+        placement: &Placement,
+        scheme: &ClusteringScheme,
+        machine: Option<&MachineSpec>,
+    ) -> Result<Vec<NodeId>, HcftError> {
+        if self.targets.is_empty() {
+            return Err(HcftError::Config(
+                "fault scenario has no targets".to_string(),
+            ));
+        }
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let push = |n: NodeId, nodes: &mut Vec<NodeId>| -> Result<(), HcftError> {
+            if n.idx() >= placement.nodes() {
+                return Err(HcftError::Config(format!(
+                    "fault target node {} outside placement ({} nodes)",
+                    n.idx(),
+                    placement.nodes()
+                )));
+            }
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+            Ok(())
+        };
+        for t in &self.targets {
+            match t {
+                FaultTarget::Node(n) => push(*n, &mut nodes)?,
+                FaultTarget::L1Cluster(c) => {
+                    if *c >= scheme.l1.len() {
+                        return Err(HcftError::Config(format!(
+                            "fault target L1 cluster {c} out of range ({} clusters)",
+                            scheme.l1.len()
+                        )));
+                    }
+                    for n in scheme.nodes_of_l1(placement, *c) {
+                        push(n, &mut nodes)?;
+                    }
+                }
+                FaultTarget::L1ClusterOf(r) => {
+                    if r.idx() >= placement.nprocs() {
+                        return Err(HcftError::Config(format!(
+                            "fault target rank {} outside world ({} ranks)",
+                            r.idx(),
+                            placement.nprocs()
+                        )));
+                    }
+                    let c = scheme.l1.cluster_of(*r);
+                    for n in scheme.nodes_of_l1(placement, c) {
+                        push(n, &mut nodes)?;
+                    }
+                }
+                FaultTarget::PsuGroupOf(n) => {
+                    let machine = machine.ok_or_else(|| {
+                        HcftError::Config(
+                            "PSU-correlated fault target needs a MachineSpec".to_string(),
+                        )
+                    })?;
+                    for peer in machine.psu_peers(*n) {
+                        // A PSU group can extend past the placed nodes
+                        // (the machine is bigger than the job).
+                        if peer.idx() < placement.nodes() {
+                            push(peer, &mut nodes)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(nodes)
+    }
+
+    /// Resolve to the ranks lost with the failed nodes (sorted).
+    pub fn failed_ranks(
+        &self,
+        placement: &Placement,
+        scheme: &ClusteringScheme,
+        machine: Option<&MachineSpec>,
+    ) -> Result<Vec<Rank>, HcftError> {
+        let mut ranks: Vec<Rank> = self
+            .failed_nodes(placement, scheme, machine)?
+            .into_iter()
+            .flat_map(|n| placement.ranks_on(n).to_vec())
+            .collect();
+        ranks.sort_unstable_by_key(|r| r.idx());
+        Ok(ranks)
+    }
+
+    /// Would the primary loss defeat the scheme's L2 redundancy (same
+    /// judgement as the Monte-Carlo campaign)? Cascades are not included:
+    /// they strike later, possibly after partial recovery.
+    pub fn is_catastrophic(
+        &self,
+        placement: &Placement,
+        scheme: &ClusteringScheme,
+        machine: Option<&MachineSpec>,
+    ) -> Result<bool, HcftError> {
+        let nodes = self.failed_nodes(placement, scheme, machine)?;
+        Ok(scheme.defeated_by(placement, &nodes))
+    }
+}
+
+/// Builder for [`FaultScenario`]; see [`FaultScenario::at`].
+#[derive(Clone, Debug)]
+pub struct FaultScenarioBuilder {
+    s: FaultScenario,
+}
+
+impl FaultScenarioBuilder {
+    /// Fail a single node.
+    pub fn node(mut self, n: NodeId) -> Self {
+        self.s.targets.push(FaultTarget::Node(n));
+        self
+    }
+
+    /// Fail several nodes simultaneously.
+    pub fn nodes(mut self, ns: &[NodeId]) -> Self {
+        for &n in ns {
+            self.s.targets.push(FaultTarget::Node(n));
+        }
+        self
+    }
+
+    /// Fail every node hosting L1 cluster `index`.
+    pub fn l1_cluster(mut self, index: usize) -> Self {
+        self.s.targets.push(FaultTarget::L1Cluster(index));
+        self
+    }
+
+    /// Fail every node hosting the L1 cluster containing `rank`.
+    pub fn l1_cluster_of(mut self, rank: Rank) -> Self {
+        self.s.targets.push(FaultTarget::L1ClusterOf(rank));
+        self
+    }
+
+    /// Fail the whole PSU group of `node` (correlated loss).
+    pub fn psu_group_of(mut self, node: NodeId) -> Self {
+        self.s.targets.push(FaultTarget::PsuGroupOf(node));
+        self
+    }
+
+    /// Add a cascading failure: `node` dies after recovery has replayed
+    /// `after_steps` iterations.
+    pub fn cascade(mut self, node: NodeId, after_steps: u64) -> Self {
+        self.s
+            .injections
+            .push(Injection::CascadeAfter { node, after_steps });
+        self
+    }
+
+    /// Silently corrupt `node`'s local checkpoint shards before recovery.
+    pub fn corrupt_checkpoint(mut self, node: NodeId) -> Self {
+        self.s
+            .injections
+            .push(Injection::CorruptCheckpoint { node });
+        self
+    }
+
+    /// Make the primary failure strike during L2 encoding of the
+    /// checkpoint at the failure phase.
+    pub fn fail_during_encoding(mut self) -> Self {
+        self.s.injections.push(Injection::FailDuringEncoding);
+        self
+    }
+
+    /// Finish the scenario.
+    pub fn build(self) -> FaultScenario {
+        self.s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcft_cluster::naive;
+
+    fn setup() -> (Placement, ClusteringScheme) {
+        // 8 nodes × 4 ranks; naive clusters of 8 ranks = 2 nodes each.
+        (Placement::block(8, 4), naive(32, 8))
+    }
+
+    #[test]
+    fn node_target_resolves_to_its_ranks() {
+        let (p, s) = setup();
+        let sc = FaultScenario::node_loss(NodeId(3), 5);
+        assert_eq!(sc.failed_nodes(&p, &s, None).unwrap(), vec![NodeId(3)]);
+        let ranks = sc.failed_ranks(&p, &s, None).unwrap();
+        assert_eq!(ranks, (12..16u32).map(Rank).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn l1_cluster_target_covers_all_hosting_nodes() {
+        let (p, s) = setup();
+        let sc = FaultScenario::at(5).l1_cluster(1).build();
+        assert_eq!(
+            sc.failed_nodes(&p, &s, None).unwrap(),
+            vec![NodeId(2), NodeId(3)]
+        );
+        // Same thing via a member rank.
+        let sc2 = FaultScenario::at(5).l1_cluster_of(Rank(10)).build();
+        assert_eq!(
+            sc.failed_nodes(&p, &s, None).unwrap(),
+            sc2.failed_nodes(&p, &s, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn psu_target_needs_machine_and_expands_peers() {
+        let (p, s) = setup();
+        let sc = FaultScenario::at(5).psu_group_of(NodeId(4)).build();
+        assert!(sc.failed_nodes(&p, &s, None).is_err());
+        let mut machine = MachineSpec::tsubame2();
+        machine.nodes_per_psu = 2;
+        let nodes = sc.failed_nodes(&p, &s, Some(&machine)).unwrap();
+        assert_eq!(nodes, vec![NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn duplicate_targets_collapse() {
+        let (p, s) = setup();
+        let sc = FaultScenario::at(5).node(NodeId(2)).l1_cluster(1).build();
+        assert_eq!(
+            sc.failed_nodes(&p, &s, None).unwrap(),
+            vec![NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn out_of_range_targets_are_config_errors() {
+        let (p, s) = setup();
+        for sc in [
+            FaultScenario::node_loss(NodeId(8), 0),
+            FaultScenario::at(0).l1_cluster(99).build(),
+            FaultScenario::at(0).l1_cluster_of(Rank(32)).build(),
+            FaultScenario::at(0).build(),
+        ] {
+            assert!(matches!(
+                sc.failed_nodes(&p, &s, None),
+                Err(HcftError::Config(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn catastrophe_judgement_matches_l2_tolerance() {
+        let (p, s) = setup();
+        // L2 clusters of 8 members tolerate fti_tolerance(8) = 4 lost
+        // members = 1 node here; 2 nodes of one cluster (8 members) is
+        // catastrophic.
+        let one = FaultScenario::node_loss(NodeId(0), 0);
+        assert!(!one.is_catastrophic(&p, &s, None).unwrap());
+        let two = FaultScenario::at(0).l1_cluster(0).build();
+        assert!(two.is_catastrophic(&p, &s, None).unwrap());
+    }
+}

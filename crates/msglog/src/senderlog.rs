@@ -122,6 +122,16 @@ impl SenderLog {
         self.bytes = self.entries.iter().map(|e| e.payload.len() as u64).sum();
     }
 
+    /// Drop entries at `phase` or later, keeping only older ones — the
+    /// mirror of [`SenderLog::truncate_before`], used when this sender is
+    /// itself rolled back to `phase`: its post-checkpoint sends are about
+    /// to be re-issued (send determinism makes them bit-identical), so
+    /// the stale tail must be cleared before replay re-logs them.
+    pub fn truncate_from(&mut self, phase: u64) {
+        self.entries.retain(|e| e.phase < phase);
+        self.bytes = self.entries.iter().map(|e| e.payload.len() as u64).sum();
+    }
+
     /// All entries (for inspection/tests).
     pub fn entries(&self) -> &[LogEntry] {
         &self.entries

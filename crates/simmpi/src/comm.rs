@@ -224,6 +224,19 @@ impl Comm {
         assert!(dst < size, "dst {dst} out of range (size {size})");
         let dst_world = self.world_rank_of(dst);
         let src_world = self.world_rank();
+        if let Some(replay) = self.shared.replay.as_deref() {
+            if !replay.live[dst_world] {
+                // Replay mode: the dead destination already consumed this
+                // message in the pre-failure world — suppress the
+                // duplicate (and keep it out of the trace; it is not new
+                // traffic). Send determinism guarantees the payload is
+                // bit-identical to the one originally delivered.
+                replay
+                    .suppressed_sends
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return;
+            }
+        }
         self.shared.trace.record(MessageEvent {
             src: src_world as u32,
             dst: dst_world as u32,
@@ -238,6 +251,14 @@ impl Comm {
     pub(crate) fn recv_raw(&self, src: usize, tag: u32) -> Bytes {
         let size = self.size();
         assert!(src < size, "src {src} out of range (size {size})");
+        if let Some(replay) = self.shared.replay.as_deref() {
+            let src_world = self.world_rank_of(src);
+            if !replay.live[src_world] {
+                // Replay mode: the sender is dead — serve its logged
+                // payload from the feed in original send order.
+                return replay.serve(self.world_rank(), src_world as u32, tag);
+            }
+        }
         self.shared
             .blocking_recv(self.world_rank(), (self.ctx, src as u32, tag))
     }

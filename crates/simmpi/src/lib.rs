@@ -27,6 +27,7 @@ pub mod collectives;
 pub mod comm;
 pub mod datatype;
 pub mod nonblocking;
+pub mod replay;
 pub mod runtime;
 mod sched;
 pub mod trace;
@@ -34,5 +35,6 @@ pub mod trace;
 pub use comm::Comm;
 pub use datatype::Datum;
 pub use nonblocking::{wait_all, RecvRequest};
+pub use replay::{ReplayFeed, ReplayPlan, ReplayWorldResult};
 pub use runtime::{Engine, World, WorldConfig};
 pub use trace::{MessageEvent, TraceRecorder};

@@ -4,7 +4,7 @@
 //!
 //! * **Tasks** (default on x86_64 Linux): rank bodies run as stackful
 //!   coroutines multiplexed M:N onto a fixed worker pool
-//!   (`HCFT_SIMMPI_WORKERS`, default = cores) by [`crate::sched`]. A
+//!   (`HCFT_SIMMPI_WORKERS`, default = cores) by the `sched` module. A
 //!   blocking receive context-switches to the next runnable rank in tens
 //!   of nanoseconds, so six-figure rank counts fit on one box — far past
 //!   the kernel's thread limits — and a sender wakes its receiver by
@@ -36,6 +36,7 @@ use hcft_telemetry::{Counter, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::comm::Comm;
+use crate::replay::{ReplayPlan, ReplayState, ReplayWorldResult};
 use crate::sched::{self, TaskSched};
 use crate::trace::TraceRecorder;
 
@@ -397,6 +398,10 @@ pub(crate) struct Shared {
     /// The task scheduler, when this world runs on the task engine. Set
     /// before any rank body starts.
     pub(crate) sched: OnceLock<Arc<TaskSched>>,
+    /// Replay-mode state ([`crate::World::run_replay`]): live-rank mask
+    /// plus the logged-message feed standing in for dead senders. `None`
+    /// for normal worlds — one branch on the message path.
+    pub(crate) replay: Option<Arc<ReplayState>>,
 }
 
 impl Shared {
@@ -647,6 +652,69 @@ impl World {
         T: Send + 'static,
         F: Fn(&mut Comm) -> T + Send + Sync + 'static,
     {
+        let (outputs, trace) = Self::run_inner(n, cfg, None, f);
+        WorldResult { outputs, trace }
+    }
+
+    /// Run a *replay world*: only ranks with `plan.live[r]` execute `f`;
+    /// receives from dead ranks are served from `plan.feed`, sends to
+    /// dead ranks are suppressed as duplicates. See [`crate::replay`].
+    ///
+    /// Dead ranks produce `None` in the outputs; the result also reports
+    /// the fed/suppressed/leftover message counts for the recovery
+    /// engine's bookkeeping.
+    pub fn run_replay<T, F>(
+        n: usize,
+        cfg: WorldConfig,
+        plan: ReplayPlan,
+        f: F,
+    ) -> ReplayWorldResult<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        assert_eq!(
+            plan.live.len(),
+            n,
+            "replay plan live mask must cover all {n} ranks"
+        );
+        let state = Arc::new(ReplayState::new(plan));
+        let live = state.live.clone();
+        let (outputs, trace) = Self::run_inner(n, cfg, Some(Arc::clone(&state)), move |c| {
+            if live[c.rank()] {
+                Some(f(c))
+            } else {
+                None
+            }
+        });
+        let reg = Registry::global();
+        let fed = state.fed_messages.load(Ordering::Relaxed);
+        let fed_bytes = state.fed_bytes.load(Ordering::Relaxed);
+        let suppressed = state.suppressed_sends.load(Ordering::Relaxed);
+        reg.counter("simmpi.replay.fed_messages").add(fed);
+        reg.counter("simmpi.replay.fed_bytes").add(fed_bytes);
+        reg.counter("simmpi.replay.suppressed_sends")
+            .add(suppressed);
+        ReplayWorldResult {
+            outputs,
+            trace,
+            fed_messages: fed,
+            fed_bytes,
+            suppressed_sends: suppressed,
+            leftover_messages: state.leftover(),
+        }
+    }
+
+    fn run_inner<T, F>(
+        n: usize,
+        cfg: WorldConfig,
+        replay: Option<Arc<ReplayState>>,
+        f: F,
+    ) -> (Vec<T>, Arc<TraceRecorder>)
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
         assert!(n > 0, "world needs at least one rank");
         let shards = resolve_shards(&cfg, n);
         let engine = resolve_engine(&cfg);
@@ -663,6 +731,7 @@ impl World {
             metrics: MailboxMetrics::from_registry(reg),
             pool: BufferPool::new(reg),
             sched: OnceLock::new(),
+            replay,
         });
         let f = Arc::new(f);
         let outputs = match engine {
@@ -689,10 +758,7 @@ impl World {
                 .unwrap_or_else(|| "<non-string panic>".to_string());
             panic!("rank {rank} panicked: {msg}");
         }
-        WorldResult {
-            outputs: outs,
-            trace,
-        }
+        (outs, trace)
     }
 
     /// Thread engine: one named OS thread per rank.
@@ -909,6 +975,56 @@ mod tests {
                 assert_eq!(sum, total - rank as u64 * 100, "shards={shards}");
             }
         }
+    }
+
+    #[test]
+    fn replay_world_serves_dead_sender_from_feed() {
+        use crate::replay::{ReplayFeed, ReplayPlan};
+        // 3 ranks; rank 1 is dead. Rank 0 expects one message from dead
+        // rank 1 (fed), one from live rank 2 (real); rank 2 also sends a
+        // message *to* dead rank 1 (suppressed).
+        let mut feed = ReplayFeed::new(3);
+        feed.push(1, 0, 7, Bytes::from(vec![42u8, 43]));
+        let plan = ReplayPlan {
+            live: vec![true, false, true],
+            feed,
+        };
+        let r = World::run_replay(3, WorldConfig::default(), plan, |c| match c.rank() {
+            0 => {
+                let from_dead = c.recv_bytes(1, 7);
+                let from_live = c.recv_bytes(2, 8);
+                (from_dead, from_live)
+            }
+            2 => {
+                c.send_bytes(0, 8, &[9]);
+                c.send_bytes(1, 9, &[1, 2, 3]); // dead dst: suppressed
+                (Bytes::new(), Bytes::new())
+            }
+            _ => unreachable!("dead rank body must not run"),
+        });
+        let (from_dead, from_live) = r.outputs[0].clone().expect("rank 0 ran");
+        assert_eq!(from_dead, vec![42u8, 43]);
+        assert_eq!(from_live, vec![9u8]);
+        assert!(r.outputs[1].is_none(), "dead rank must produce no output");
+        assert_eq!(r.fed_messages, 1);
+        assert_eq!(r.fed_bytes, 2);
+        assert_eq!(r.suppressed_sends, 1);
+        assert_eq!(r.leftover_messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay feed exhausted")]
+    fn replay_feed_underrun_panics_loudly() {
+        use crate::replay::{ReplayFeed, ReplayPlan};
+        let plan = ReplayPlan {
+            live: vec![true, false],
+            feed: ReplayFeed::new(2),
+        };
+        World::run_replay(2, WorldConfig::default(), plan, |c| {
+            if c.rank() == 0 {
+                c.recv_bytes(1, 5);
+            }
+        });
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   message-logging replay simulation consumes.
 //!
 //! The matrix storage switches on world size. Up to
-//! [`SPARSE_THRESHOLD`] ranks it is two dense `n²` atomic arrays
+//! `SPARSE_THRESHOLD` ranks it is two dense `n²` atomic arrays
 //! (contention-free because each cell is touched by a single sender at a
 //! time in practice). Beyond that — the full-TSUBAME2 22k-rank run would
 //! need ~9 GiB of dense counters for a matrix that is overwhelmingly
@@ -45,7 +45,7 @@ pub struct MessageEvent {
     pub phase: u64,
 }
 
-/// Matrix storage: dense atomics below [`SPARSE_THRESHOLD`], per-sender
+/// Matrix storage: dense atomics below `SPARSE_THRESHOLD`, per-sender
 /// sparse rows above.
 enum Cells {
     Dense {

@@ -512,7 +512,9 @@ impl Heat3dState {
 
 const TAG_FACE_BASE: u32 = 40;
 
-fn face_tag(f: Face) -> u32 {
+/// Wire tag of a halo message crossing face `f` — public for the replay
+/// engine, mirroring [`crate::solver::halo_tag`].
+pub fn face_tag(f: Face) -> u32 {
     TAG_FACE_BASE
         + match f {
             Face::West => 0,

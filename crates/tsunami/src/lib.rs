@@ -24,6 +24,7 @@ pub mod sequential;
 pub mod solver;
 
 pub use decomp::CartDecomp;
+pub use heat3d::{Heat3dParams, Heat3dState};
 pub use kernel::{Dir, RankState};
 pub use params::TsunamiParams;
 pub use solver::TsunamiSim;

@@ -17,7 +17,10 @@ use crate::params::TsunamiParams;
 const TAG_HALO_BASE: u32 = 20;
 const TAG_GATHER: u32 = 29;
 
-fn halo_tag(dir: Dir) -> u32 {
+/// Wire tag of a halo message travelling in direction `dir` — public so
+/// the replay engine (`hcft-core`) logs and re-feeds halo traffic on
+/// exactly the channels the solver uses.
+pub fn halo_tag(dir: Dir) -> u32 {
     // Tag identifies the direction of travel.
     TAG_HALO_BASE
         + match dir {

@@ -60,8 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("killing node 7 (in-memory state + on-disk checkpoints)…");
-    drill.inject_node_failure(NodeId(7))?;
-    println!("  dead ranks: {:?}", drill.dead_ranks());
+    let scenario = FaultScenario::node_loss(NodeId(7), 25);
+    let dead = drill.inject(&scenario)?;
+    println!("  dead ranks: {dead:?}");
 
     let restarted = drill.recover()?;
     println!(

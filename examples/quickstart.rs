@@ -59,4 +59,30 @@ fn main() {
         "\nThe hierarchical clustering is the only scheme designed to satisfy all\n\
          four §III requirements simultaneously (Fig. 5c / Table II)."
     );
+
+    // 4. Describe failures once, reuse everywhere: the same FaultScenario
+    //    drives the lockstep drill, the live replay engine and campaign
+    //    analysis. Here, just ask each scheme whether losing node 0's
+    //    whole L1 cluster defeats its L2 redundancy.
+    let placement = trace.layout.app_placement();
+    let scenario = FaultScenario::at(100).l1_cluster_of(Rank(0)).build();
+    println!("\nscenario: lose the L1 cluster of rank 0 at iteration 100");
+    for scheme in &schemes {
+        let nodes = scenario
+            .failed_nodes(&placement, scheme, None)
+            .expect("resolvable");
+        let catastrophic = scenario
+            .is_catastrophic(&placement, scheme, None)
+            .expect("resolvable");
+        println!(
+            "  {:<24} {:>2} nodes lost — {}",
+            scheme.name,
+            nodes.len(),
+            if catastrophic {
+                "CATASTROPHIC (L2 defeated)"
+            } else {
+                "recoverable from parity"
+            }
+        );
+    }
 }

@@ -54,23 +54,34 @@ pub use hcft_topology as topology;
 pub use hcft_tsunami as tsunami;
 
 /// The most commonly used items in one import.
+///
+/// Covers the full fault-injection surface: describe a failure once with
+/// [`FaultScenario`](hcft_core::scenario::FaultScenario), then hand it to
+/// the lockstep [`LockstepDrill`](hcft_core::drill::LockstepDrill), the
+/// live [`ReplayEngine`](hcft_core::replay::ReplayEngine), or campaign
+/// analysis.
 pub mod prelude {
     pub use hcft_checkpoint::Level as CheckpointLevel;
     pub use hcft_checkpoint::{CheckpointStore, Level, MultilevelCheckpointer};
     pub use hcft_cluster::{
-        autotune, distributed, hierarchical, naive, size_guided, BaselineRequirements,
+        autotune, distributed, hierarchical, naive, size_guided, striped, BaselineRequirements,
         ClusteringScheme, ClusteringStrategy, Evaluator, FourDScore, HierarchicalConfig,
         StrategyContext,
     };
+    pub use hcft_core::campaign::{simulate_campaign, CampaignConfig, CampaignOutcome};
     pub use hcft_core::drill::{DrillConfig, LockstepDrill};
     pub use hcft_core::experiment::{run_traced_job, TraceResult, TracedJobConfig};
+    pub use hcft_core::replay::{
+        Heat3dWorkload, ReplayConfig, ReplayEngine, ReplayOutcome, ReplayWorkload, TsunamiWorkload,
+    };
+    pub use hcft_core::scenario::{FaultScenario, FaultScenarioBuilder, FaultTarget, Injection};
     pub use hcft_erasure::{EncodingModel, ReedSolomon, XorCode};
     pub use hcft_graph::{Clustering, CommMatrix, WeightedGraph};
-    pub use hcft_msglog::{HybridProtocol, SenderLog};
+    pub use hcft_msglog::{check_replay, HybridProtocol, ReplayReport, SenderLog};
     pub use hcft_partition::{MultilevelConfig, MultilevelPartitioner, SizeBounds};
     pub use hcft_reliability::{EventDistribution, FailureArrivals, ReliabilityModel};
-    pub use hcft_simmpi::{Comm, World};
+    pub use hcft_simmpi::{Comm, World, WorldConfig};
     pub use hcft_telemetry::{EventKind, HcftError, Registry};
     pub use hcft_topology::{JobLayout, MachineSpec, NetworkTopology, NodeId, Placement, Rank};
-    pub use hcft_tsunami::{TsunamiParams, TsunamiSim};
+    pub use hcft_tsunami::{Heat3dParams, TsunamiParams, TsunamiSim};
 }

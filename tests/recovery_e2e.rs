@@ -72,9 +72,10 @@ fn repeated_failures_across_epochs() {
     // Failure in epoch 1, recover, run on; failure in epoch 3; etc.
     let mut kill_nodes = [3u32, 9, 14].iter();
     for target in [8u64, 20, 29] {
-        drill.run_to(target).expect("run");
         let node = *kill_nodes.next().expect("plan");
-        drill.inject_node_failure(NodeId(node)).expect("kill");
+        drill
+            .inject(&FaultScenario::node_loss(NodeId(node), target))
+            .expect("kill");
         drill.recover().expect("recover");
         assert_eq!(
             drill.global_eta(),
@@ -102,11 +103,11 @@ fn simultaneous_failures_in_different_l1_clusters() {
         },
     )
     .expect("drill");
-    drill.run_to(9).expect("run");
     // Nodes 1 and 13 live in different L1 clusters (chain partition into
     // consecutive quads): both clusters roll back, everything else stays.
-    drill.inject_node_failure(NodeId(1)).expect("kill");
-    drill.inject_node_failure(NodeId(13)).expect("kill");
+    drill
+        .inject(&FaultScenario::at(9).nodes(&[NodeId(1), NodeId(13)]).build())
+        .expect("kill");
     let restarted = drill.recover().expect("recover");
     assert_eq!(restarted.len(), 32, "two L1 clusters of 16 ranks each");
     assert_eq!(drill.global_eta(), reference(grid, 9));
@@ -130,8 +131,14 @@ fn same_node_encoding_clusters_hit_the_catastrophic_path() {
         },
     )
     .expect("drill");
-    drill.run_to(6).expect("run");
-    drill.inject_node_failure(NodeId(2)).expect("kill");
+    let scenario = FaultScenario::node_loss(NodeId(2), 6);
+    assert!(
+        scenario
+            .is_catastrophic(&Placement::block(8, 4), drill.scheme(), None)
+            .expect("in range"),
+        "same-node encoding clusters are defeated by one node loss"
+    );
+    drill.inject(&scenario).expect("kill");
     match drill.recover() {
         Err(HcftError::Erasure { needed, available }) => {
             assert!(
@@ -167,8 +174,9 @@ fn telemetry_journal_narrates_a_kill_rebuild_drill() {
         reg.clone(),
     )
     .expect("drill");
-    drill.run_to(13).expect("run");
-    drill.inject_node_failure(NodeId(5)).expect("kill");
+    drill
+        .inject(&FaultScenario::node_loss(NodeId(5), 13))
+        .expect("kill");
     drill.recover().expect("recover");
     assert_eq!(drill.global_eta(), reference(grid, 13));
     drill.mark_verified("bit-identical to uninterrupted reference");
@@ -283,10 +291,10 @@ mod drill_fuzz {
             let mut kills = kills;
             kills.sort();
             for (at, node) in kills {
-                if at > drill.phase() {
-                    drill.run_to(at).expect("run");
-                }
-                drill.inject_node_failure(NodeId(node)).expect("kill");
+                let at = at.max(drill.phase());
+                drill
+                    .inject(&FaultScenario::node_loss(NodeId(node), at))
+                    .expect("kill");
                 drill.recover().expect("recover");
                 prop_assert_eq!(
                     drill.global_eta(),
