@@ -1,0 +1,279 @@
+//! Campaign-engine perf gate: the batched Monte-Carlo kernel against
+//! the retained pre-engine scalar path, plus a grid throughput record.
+//!
+//! Run from the repo root so the JSON lands next to the sources:
+//!
+//! ```text
+//! cargo run --release -p hcft-bench --bin bench_campaign
+//! ```
+//!
+//! Stages:
+//! * `equivalence` — the kernel must reproduce `run_trial_reference`
+//!   bit-for-bit on the gate cell (hard assert, not a timing);
+//! * `reference` — trials/s of the pre-engine scalar implementation
+//!   (per-event `Vec` materialisation, `FaultScenario`, O(nprocs)
+//!   `defeated_by` scan), measured through the same rayon fan-out;
+//! * `engine` — trials/s of the batched engine on the same cell;
+//! * `grid` — a strategy × MTBF × size × nodes sweep through
+//!   [`CampaignGrid`], with and without CI-targeted early stopping.
+//!
+//! Regression gates (assert-based, like the other `bench_*` binaries):
+//! * engine ≥ 100× reference trials/s on the gate cell
+//!   (`BENCH_CAMPAIGN_MIN_SPEEDUP` overrides) — this is the algorithmic
+//!   win and is thread-count independent since both sides share the
+//!   pool;
+//! * engine ≥ 50 000 trials/s absolute (`BENCH_CAMPAIGN_MIN_TPS`
+//!   overrides) — the floor a single CI core must hold;
+//! * engine ≥ 1 000 000 trials/s when ≥16 effective cores are available
+//!   (`BENCH_CAMPAIGN_MIN_TPS_MULTI` overrides) — the headline target;
+//! * early stopping must not run more trials than the fixed rule.
+//!
+//! `BENCH_CAMPAIGN_QUICK=1` shrinks trial counts for CI smoke runs;
+//! `BENCH_CAMPAIGN_OUT` / `BENCH_CAMPAIGN_TELEMETRY_OUT` override the
+//! output paths (`BENCH_campaign.json`, `TELEMETRY_bench_campaign.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hcft_cluster::{naive, SchemeIndex};
+use hcft_core::campaign::{
+    run_trial_reference, simulate_campaign_reference, simulate_campaign_stats, CampaignConfig,
+    CampaignGrid, CampaignKernel, CiTarget, GridStrategy, StopRule,
+};
+use hcft_msglog::HybridProtocol;
+use hcft_topology::Placement;
+
+/// The gate cell: the full TSUBAME2 machine (1408 nodes × 16 ranks =
+/// 22 528 ranks) under naive 32-rank clusters and the default month-long
+/// campaign. At this scale the reference pays its O(nprocs) per-event
+/// scan in full while the engine's counting path stays machine-size
+/// independent — exactly the asymptotic gap the engine exists to close.
+fn gate_cell() -> (Placement, hcft_cluster::ClusteringScheme, CampaignConfig) {
+    let placement = Placement::block(1408, 16);
+    let scheme = naive(placement.nprocs(), 32);
+    (placement, scheme, CampaignConfig::default())
+}
+
+struct Stage {
+    stage: &'static str,
+    seconds: f64,
+    trials: u64,
+    trials_per_s: f64,
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_CAMPAIGN_QUICK").is_ok();
+    let threads = rayon::current_num_threads();
+    let (placement, scheme, cfg) = gate_cell();
+    let reg = hcft_telemetry::Registry::global();
+    let mut stages: Vec<Stage> = Vec::new();
+
+    // Equivalence: the engine's speed means nothing if it simulates a
+    // different campaign. Bit-exact on the gate cell's first trials.
+    {
+        let protocol = HybridProtocol::new(scheme.l1.clone());
+        let sampler = cfg.events.sampler();
+        let index = SchemeIndex::new(&scheme, &placement);
+        let mut kernel = CampaignKernel::new(&index, &sampler, &cfg, placement.nprocs());
+        for trial in 0..32 {
+            let fast = kernel.run_trial(trial);
+            let slow = run_trial_reference(trial, &scheme, &protocol, &placement, &cfg, &sampler);
+            assert_eq!(
+                fast, slow,
+                "kernel diverged from reference on trial {trial}"
+            );
+        }
+        eprintln!("equivalence: kernel == reference on 32 gate-cell trials");
+    }
+
+    // Reference throughput. Few trials — this is the slow path.
+    let ref_trials: u64 = if quick { 24 } else { 200 };
+    let t0 = Instant::now();
+    let ref_out = {
+        let mut c = cfg.clone();
+        c.trials = ref_trials as usize;
+        simulate_campaign_reference(&scheme, &placement, &c)
+    };
+    let ref_secs = t0.elapsed().as_secs_f64();
+    let ref_tps = ref_trials as f64 / ref_secs;
+    eprintln!(
+        "reference: {ref_trials} trials in {ref_secs:.3} s = {ref_tps:.0} trials/s \
+         (availability {:.4})",
+        ref_out.availability
+    );
+    stages.push(Stage {
+        stage: "reference",
+        seconds: ref_secs,
+        trials: ref_trials,
+        trials_per_s: ref_tps,
+    });
+
+    // Engine throughput on the same cell.
+    let engine_trials: u64 = if quick { 50_000 } else { 1_000_000 };
+    let t0 = Instant::now();
+    let engine_stats =
+        simulate_campaign_stats(&scheme, &placement, &cfg, &StopRule::fixed(engine_trials));
+    let engine_secs = t0.elapsed().as_secs_f64();
+    let engine_tps = engine_trials as f64 / engine_secs;
+    eprintln!(
+        "engine:    {engine_trials} trials in {engine_secs:.3} s = {engine_tps:.0} trials/s \
+         (availability {:.6} ±{:.6})",
+        engine_stats.availability.mean(),
+        engine_stats.availability.ci95()
+    );
+    stages.push(Stage {
+        stage: "engine",
+        seconds: engine_secs,
+        trials: engine_trials,
+        trials_per_s: engine_tps,
+    });
+
+    // Grid throughput: fixed budget, then the same grid early-stopped.
+    let grid_trials: u64 = if quick { 512 } else { 8_192 };
+    let mut grid = CampaignGrid {
+        strategies: vec![
+            GridStrategy::Naive,
+            GridStrategy::Distributed,
+            GridStrategy::Striped,
+        ],
+        mtbfs_h: vec![2.0, 6.0, 24.0],
+        cluster_sizes: vec![8],
+        machine_nodes: vec![32],
+        ppn: 8,
+        base: CampaignConfig {
+            duration_h: 7.0 * 24.0,
+            ..Default::default()
+        },
+        stop: StopRule::fixed(grid_trials),
+    };
+    let t0 = Instant::now();
+    let fixed_cells = grid.run().expect("gate grid is valid");
+    let grid_secs = t0.elapsed().as_secs_f64();
+    let fixed_total: u64 = fixed_cells.iter().map(|c| c.stats.trials).sum();
+    eprintln!(
+        "grid:      {} cells, {fixed_total} trials in {grid_secs:.3} s = {:.0} trials/s",
+        fixed_cells.len(),
+        fixed_total as f64 / grid_secs
+    );
+    stages.push(Stage {
+        stage: "grid",
+        seconds: grid_secs,
+        trials: fixed_total,
+        trials_per_s: fixed_total as f64 / grid_secs,
+    });
+
+    grid.stop = StopRule::until_ci(
+        grid_trials,
+        grid_trials.div_ceil(16),
+        grid_trials.div_ceil(16),
+        CiTarget::availability(2e-4),
+    );
+    let t0 = Instant::now();
+    let stopped_cells = grid.run().expect("gate grid is valid");
+    let stopped_secs = t0.elapsed().as_secs_f64();
+    let stopped_total: u64 = stopped_cells.iter().map(|c| c.stats.trials).sum();
+    let stopped_count = stopped_cells
+        .iter()
+        .filter(|c| c.stats.early_stopped)
+        .count();
+    eprintln!(
+        "grid+ci:   {stopped_total} trials ({stopped_count}/{} cells stopped early) \
+         in {stopped_secs:.3} s",
+        stopped_cells.len()
+    );
+    stages.push(Stage {
+        stage: "grid_early_stop",
+        seconds: stopped_secs,
+        trials: stopped_total,
+        trials_per_s: stopped_total as f64 / stopped_secs,
+    });
+
+    let speedup = engine_tps / ref_tps;
+    eprintln!("speedup:   engine is {speedup:.1}x the pre-engine reference");
+
+    for s in &stages {
+        reg.gauge(&format!("campaign.bench.{}.seconds", s.stage))
+            .set(s.seconds);
+        reg.gauge(&format!("campaign.bench.{}.trials_per_s", s.stage))
+            .set(s.trials_per_s);
+    }
+    reg.gauge("campaign.bench.speedup").set(speedup);
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"bench\": \"campaign\",").expect("write");
+    writeln!(
+        json,
+        "  \"unit\": \"Monte-Carlo trials per second on the gate cell (1408 nodes x 16 ranks, naive-32)\","
+    )
+    .expect("write");
+    writeln!(json, "  \"threads\": {threads},").expect("write");
+    writeln!(json, "  \"quick\": {quick},").expect("write");
+    writeln!(json, "  \"speedup_vs_reference\": {speedup:.2},").expect("write");
+    writeln!(json, "  \"stages\": [").expect("write");
+    for (i, s) in stages.iter().enumerate() {
+        let sep = if i + 1 == stages.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"stage\": \"{}\", \"seconds\": {:.4}, \"trials\": {}, \
+             \"trials_per_s\": {:.1}}}{sep}",
+            s.stage, s.seconds, s.trials, s.trials_per_s
+        )
+        .expect("write");
+    }
+    writeln!(json, "  ]").expect("write");
+    json.push('}');
+    json.push('\n');
+
+    let out = std::env::var("BENCH_CAMPAIGN_OUT").unwrap_or_else(|_| "BENCH_campaign.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_campaign.json");
+    eprintln!("wrote {out}");
+    let telemetry_out = std::env::var("BENCH_CAMPAIGN_TELEMETRY_OUT")
+        .unwrap_or_else(|_| "TELEMETRY_bench_campaign.json".into());
+    reg.write_json(&telemetry_out)
+        .expect("write telemetry JSON");
+    eprintln!("wrote {telemetry_out}");
+
+    // Gates.
+    let min_speedup: f64 = std::env::var("BENCH_CAMPAIGN_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100.0);
+    assert!(
+        speedup >= min_speedup,
+        "perf regression: campaign engine is only {speedup:.1}x the pre-engine \
+         reference (floor {min_speedup:.0}x)"
+    );
+    let min_tps: f64 = std::env::var("BENCH_CAMPAIGN_MIN_TPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000.0);
+    assert!(
+        engine_tps >= min_tps,
+        "perf regression: campaign engine sustains only {engine_tps:.0} trials/s \
+         (floor {min_tps:.0})"
+    );
+    // The million-trials-per-second headline needs real parallelism:
+    // trials cost ~4-5 us each on one core, so the absolute target only
+    // binds where the pool has the cores to spread them.
+    let effective = threads.min(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
+    if effective >= 16 {
+        let min_tps_multi: f64 = std::env::var("BENCH_CAMPAIGN_MIN_TPS_MULTI")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000_000.0);
+        assert!(
+            engine_tps >= min_tps_multi,
+            "perf regression: campaign engine sustains only {engine_tps:.0} trials/s \
+             on {effective} cores (floor {min_tps_multi:.0})"
+        );
+    }
+    assert!(
+        stopped_total <= fixed_total,
+        "early stopping ran more trials ({stopped_total}) than the fixed budget ({fixed_total})"
+    );
+    eprintln!("bench_campaign: all gates passed");
+}

@@ -285,8 +285,11 @@ fn main() {
             allocs: msg_allocs.get() - allocs_before,
         });
 
-        // Campaign Monte-Carlo (trials internally parallel): timed for
-        // the record; the determinism test covers its correctness.
+        // Campaign Monte-Carlo (trials internally parallel): the batched
+        // engine against the retained pre-engine scalar path
+        // (`simulate_campaign_reference`). `bench_campaign` holds the
+        // hard speedup gate; this row records the ratio at pipeline
+        // scale for the committed JSON.
         let placement = trace.layout.app_placement();
         let scheme = naive(placement.nprocs(), nv);
         let campaign_cfg = hcft_core::campaign::CampaignConfig {
@@ -294,19 +297,29 @@ fn main() {
             ..Default::default()
         };
         let allocs_before = msg_allocs.get();
-        let (t_campaign, _) = time_min(sweep_samples, || {
+        let (t_campaign, fast_out) = time_min(sweep_samples, || {
             hcft_core::campaign::simulate_campaign(&scheme, &placement, &campaign_cfg)
         });
+        let (t_campaign_ref, ref_out) = time_min(sweep_samples, || {
+            hcft_core::campaign::simulate_campaign_reference(&scheme, &placement, &campaign_cfg)
+        });
+        assert_eq!(
+            (fast_out.failures, fast_out.catastrophic, fast_out.transient),
+            (ref_out.failures, ref_out.catastrophic, ref_out.transient),
+            "engine and reference campaigns must count the same events"
+        );
+        let campaign_speedup = t_campaign_ref / t_campaign;
         eprintln!(
-            "campaign {name:<5} {t_campaign:7.3} s ({} trials)",
+            "campaign {name:<5} engine {t_campaign:7.3} s vs reference {t_campaign_ref:7.3} s \
+             ({campaign_speedup:.2}x, {} trials)",
             campaign_cfg.trials
         );
         rows.push(Row {
             scale: name,
             stage: "campaign",
             seconds: t_campaign,
-            baseline_seconds: t_campaign,
-            speedup: 1.0,
+            baseline_seconds: t_campaign_ref,
+            speedup: campaign_speedup,
             allocs: msg_allocs.get() - allocs_before,
         });
 

@@ -44,6 +44,7 @@ const ALL: &[&str] = &[
     "alltoall",
     "ablation",
     "campaign",
+    "campaign-grid",
     "heat3d",
     "logmem",
     "simtime",
@@ -121,6 +122,7 @@ fn main() -> ExitCode {
             "alltoall" => figures::alltoall(scale),
             "ablation" => figures::ablation(scale),
             "campaign" => figures::campaign(scale),
+            "campaign-grid" => figures::campaign_grid(scale),
             "heat3d" => figures::heat3d(scale),
             "logmem" => figures::logmem(scale),
             "simtime" => figures::simtime(scale),

@@ -1,0 +1,283 @@
+//! Counting fast path for the Monte-Carlo campaign's two per-event
+//! questions: *is this node-loss event catastrophic?* and *how many ranks
+//! restart?*
+//!
+//! [`ClusteringScheme::defeated_by`] answers the first by scanning every
+//! L2 cluster's member list — O(nprocs) per event — and the restart size
+//! goes through `HybridProtocol::restart_set`, which materialises and
+//! sorts a `Vec<Rank>` per event. Neither is acceptable at millions of
+//! trials. [`SchemeIndex`] precomputes, per *node*, the L2 clusters its
+//! ranks feed (with member counts) and the distinct L1 clusters it
+//! hosts; an event touching `j` nodes is then judged in
+//! O(j · ranks-per-node) counter bumps against epoch-stamped scratch —
+//! no clearing, no allocation, no per-event `Vec` of ranks.
+//!
+//! The answers are exact: `fastpath_agrees_with_reference` proptests
+//! both against the slow paths for arbitrary schemes and failed sets.
+
+use hcft_reliability::model::fti_tolerance;
+use hcft_topology::{NodeId, Placement};
+
+use crate::strategies::ClusteringScheme;
+
+/// Immutable per-(scheme, placement) index for the campaign hot loop.
+///
+/// Build once per cell, share across threads (`&SchemeIndex` is `Sync`);
+/// pair with a per-thread [`SchemeScratch`] for the mutable counters.
+#[derive(Clone, Debug)]
+pub struct SchemeIndex {
+    nodes: usize,
+    /// CSR over nodes: `l2_pairs[l2_off[n]..l2_off[n+1]]` lists
+    /// `(l2 cluster, members of that cluster on node n)`.
+    l2_off: Vec<u32>,
+    l2_pairs: Vec<(u32, u32)>,
+    /// Reed–Solomon tolerance per L2 cluster ([`fti_tolerance`]).
+    l2_tolerance: Vec<u32>,
+    /// CSR over nodes: distinct L1 clusters hosted by node n.
+    l1_off: Vec<u32>,
+    l1_clusters: Vec<u32>,
+    /// Member count per L1 cluster.
+    l1_size: Vec<u32>,
+}
+
+/// Epoch-stamped counters for one thread of [`SchemeIndex`] queries.
+#[derive(Clone, Debug)]
+pub struct SchemeScratch {
+    l2_epoch: u32,
+    l2_stamp: Vec<u32>,
+    l2_lost: Vec<u32>,
+    l1_epoch: u32,
+    l1_stamp: Vec<u32>,
+}
+
+impl SchemeIndex {
+    /// Index `scheme` against `placement`.
+    pub fn new(scheme: &ClusteringScheme, placement: &Placement) -> Self {
+        let nodes = placement.nodes();
+        let mut per_node_l2: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nodes];
+        let mut l2_tolerance = vec![0u32; scheme.l2.len()];
+        for (c, members) in scheme.l2.iter() {
+            l2_tolerance[c] = fti_tolerance(members.len()) as u32;
+            for &r in members {
+                let n = placement.node_of(r).idx();
+                match per_node_l2[n].iter_mut().find(|(cl, _)| *cl == c as u32) {
+                    Some((_, cnt)) => *cnt += 1,
+                    None => per_node_l2[n].push((c as u32, 1)),
+                }
+            }
+        }
+        let mut l2_off = Vec::with_capacity(nodes + 1);
+        let mut l2_pairs = Vec::new();
+        l2_off.push(0u32);
+        for pairs in &per_node_l2 {
+            l2_pairs.extend_from_slice(pairs);
+            l2_off.push(l2_pairs.len() as u32);
+        }
+        let l1_size: Vec<u32> = scheme
+            .l1
+            .iter()
+            .map(|(_, members)| members.len() as u32)
+            .collect();
+        let mut l1_off = Vec::with_capacity(nodes + 1);
+        let mut l1_clusters = Vec::new();
+        l1_off.push(0u32);
+        for n in 0..nodes {
+            let start = l1_clusters.len();
+            for &r in placement.ranks_on(NodeId::from(n)) {
+                let c = scheme.l1.cluster_of(r) as u32;
+                if !l1_clusters[start..].contains(&c) {
+                    l1_clusters.push(c);
+                }
+            }
+            l1_off.push(l1_clusters.len() as u32);
+        }
+        SchemeIndex {
+            nodes,
+            l2_off,
+            l2_pairs,
+            l2_tolerance,
+            l1_off,
+            l1_clusters,
+            l1_size,
+        }
+    }
+
+    /// Number of placed nodes the index covers.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// A scratch sized for this index.
+    pub fn scratch(&self) -> SchemeScratch {
+        SchemeScratch {
+            l2_epoch: 0,
+            l2_stamp: vec![0; self.l2_tolerance.len()],
+            l2_lost: vec![0; self.l2_tolerance.len()],
+            l1_epoch: 0,
+            l1_stamp: vec![0; self.l1_size.len()],
+        }
+    }
+
+    /// Does losing exactly the nodes in `failed` (distinct indices)
+    /// defeat the scheme's L2 redundancy? Same judgement as
+    /// [`ClusteringScheme::defeated_by`], in O(Σ per-node L2 entries).
+    #[inline]
+    pub fn defeated_by(&self, failed: &[u32], scratch: &mut SchemeScratch) -> bool {
+        let epoch = scratch.next_l2_epoch();
+        for &n in failed {
+            let (lo, hi) = (self.l2_off[n as usize], self.l2_off[n as usize + 1]);
+            for &(c, cnt) in &self.l2_pairs[lo as usize..hi as usize] {
+                let c = c as usize;
+                let lost = if scratch.l2_stamp[c] == epoch {
+                    scratch.l2_lost[c] + cnt
+                } else {
+                    scratch.l2_stamp[c] = epoch;
+                    cnt
+                };
+                scratch.l2_lost[c] = lost;
+                if lost > self.l2_tolerance[c] {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of ranks forced to restart when the nodes in `failed` die:
+    /// the union of the L1 clusters hosting any of their ranks — exactly
+    /// `HybridProtocol::restart_set(failed_ranks).len()` without
+    /// materialising the set.
+    #[inline]
+    pub fn restart_ranks(&self, failed: &[u32], scratch: &mut SchemeScratch) -> u64 {
+        let epoch = scratch.next_l1_epoch();
+        let mut total = 0u64;
+        for &n in failed {
+            let (lo, hi) = (self.l1_off[n as usize], self.l1_off[n as usize + 1]);
+            for &c in &self.l1_clusters[lo as usize..hi as usize] {
+                let c = c as usize;
+                if scratch.l1_stamp[c] != epoch {
+                    scratch.l1_stamp[c] = epoch;
+                    total += self.l1_size[c] as u64;
+                }
+            }
+        }
+        total
+    }
+}
+
+impl SchemeScratch {
+    #[inline]
+    fn next_l2_epoch(&mut self) -> u32 {
+        self.l2_epoch = self.l2_epoch.wrapping_add(1);
+        if self.l2_epoch == 0 {
+            self.l2_stamp.fill(0);
+            self.l2_epoch = 1;
+        }
+        self.l2_epoch
+    }
+
+    #[inline]
+    fn next_l1_epoch(&mut self) -> u32 {
+        self.l1_epoch = self.l1_epoch.wrapping_add(1);
+        if self.l1_epoch == 0 {
+            self.l1_stamp.fill(0);
+            self.l1_epoch = 1;
+        }
+        self.l1_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{distributed, naive, striped};
+    use hcft_msglog::HybridProtocol;
+    use hcft_topology::Rank;
+    use proptest::prelude::*;
+
+    fn reference_defeated(s: &ClusteringScheme, p: &Placement, failed: &[u32]) -> bool {
+        let nodes: Vec<NodeId> = failed.iter().map(|&n| NodeId(n)).collect();
+        s.defeated_by(p, &nodes)
+    }
+
+    fn reference_restart(s: &ClusteringScheme, p: &Placement, failed: &[u32]) -> u64 {
+        let protocol = HybridProtocol::new(s.l1.clone());
+        let mut ranks: Vec<Rank> = failed
+            .iter()
+            .flat_map(|&n| p.ranks_on(NodeId(n)).to_vec())
+            .collect();
+        ranks.sort_unstable();
+        protocol.restart_set(&ranks).len() as u64
+    }
+
+    #[test]
+    fn counting_matches_reference_on_naive() {
+        let p = Placement::block(8, 4);
+        let s = naive(32, 8);
+        let idx = SchemeIndex::new(&s, &p);
+        let mut scratch = idx.scratch();
+        for failed in [vec![0u32], vec![3], vec![0, 1], vec![2, 5, 7]] {
+            assert_eq!(
+                idx.defeated_by(&failed, &mut scratch),
+                reference_defeated(&s, &p, &failed),
+                "defeated {failed:?}"
+            );
+            assert_eq!(
+                idx.restart_ranks(&failed, &mut scratch),
+                reference_restart(&s, &p, &failed),
+                "restart {failed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_reuse_does_not_leak_between_events() {
+        let p = Placement::block(16, 4);
+        let s = striped(&p, 4, 8);
+        let idx = SchemeIndex::new(&s, &p);
+        let mut scratch = idx.scratch();
+        // A near-defeating event must not leave counts behind that make
+        // the next small event look catastrophic.
+        let big: Vec<u32> = (0..8).collect();
+        let _ = idx.defeated_by(&big, &mut scratch);
+        assert!(!idx.defeated_by(&[0], &mut scratch));
+        assert_eq!(
+            idx.restart_ranks(&[0], &mut scratch),
+            reference_restart(&s, &p, &[0])
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fastpath_agrees_with_reference(
+            nodes in 2usize..20,
+            ppn in 1usize..5,
+            size in 2usize..9,
+            picks in proptest::collection::vec(0usize..1000, 1..8),
+        ) {
+            let p = Placement::block(nodes, ppn);
+            let nprocs = nodes * ppn;
+            let schemes = vec![
+                naive(nprocs, size.min(nprocs)),
+                distributed(&p, size.min(nodes).max(2)),
+            ];
+            let mut failed: Vec<u32> = picks.iter().map(|&x| (x % nodes) as u32).collect();
+            failed.sort_unstable();
+            failed.dedup();
+            for s in &schemes {
+                let idx = SchemeIndex::new(s, &p);
+                let mut scratch = idx.scratch();
+                prop_assert_eq!(
+                    idx.defeated_by(&failed, &mut scratch),
+                    reference_defeated(s, &p, &failed)
+                );
+                prop_assert_eq!(
+                    idx.restart_ranks(&failed, &mut scratch),
+                    reference_restart(s, &p, &failed)
+                );
+            }
+        }
+    }
+}

@@ -21,12 +21,14 @@
 pub mod autotune;
 pub mod baseline;
 pub mod evaluator;
+pub mod fastpath;
 pub mod strategies;
 pub mod strategy;
 
 pub use autotune::{autotune, candidates, Candidate};
 pub use baseline::BaselineRequirements;
 pub use evaluator::{Evaluator, FourDScore};
+pub use fastpath::{SchemeIndex, SchemeScratch};
 pub use hcft_telemetry::HcftError;
 pub use strategies::{
     distributed, hierarchical, naive, size_guided, striped, ClusteringScheme, HierarchicalConfig,

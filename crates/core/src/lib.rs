@@ -30,7 +30,11 @@ pub mod experiment;
 pub mod replay;
 pub mod scenario;
 
-pub use campaign::{simulate_campaign, CampaignConfig, CampaignOutcome};
+pub use campaign::{
+    simulate_campaign, simulate_campaign_reference, simulate_campaign_stats, CampaignConfig,
+    CampaignGrid, CampaignKernel, CampaignOutcome, CampaignStats, CiTarget, GridCell, GridStrategy,
+    StopRule, TrialTotals, Welford,
+};
 pub use drill::{DrillConfig, LockstepDrill};
 pub use experiment::{
     run_traced_job, EvaluatedSchemes, TraceResult, TracedJobConfig, TracedJobConfigBuilder,

@@ -50,12 +50,30 @@ impl FailureArrivals {
 
     /// All failure times within `[0, duration)` hours.
     pub fn sample_times<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Vec<f64> {
-        let mut t = 0.0;
         let mut out = Vec::new();
+        self.sample_times_into(duration, rng, &mut out);
+        out
+    }
+
+    /// [`FailureArrivals::sample_times`] into a caller-owned buffer.
+    ///
+    /// Clears `out` and refills it, keeping its capacity — the batched
+    /// Monte-Carlo campaign kernel calls this once per trial and must not
+    /// touch the allocator in steady state. Consumes the RNG identically
+    /// to [`FailureArrivals::sample_times`], so the two are
+    /// interchangeable mid-stream.
+    pub fn sample_times_into<R: Rng + ?Sized>(
+        &self,
+        duration: f64,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let mut t = 0.0;
         loop {
             t += self.sample_interval(rng);
             if t >= duration {
-                return out;
+                return;
             }
             out.push(t);
         }
@@ -99,6 +117,19 @@ mod tests {
         assert!(times.iter().all(|&t| t < 50.0));
         // Expect roughly 50 events.
         assert!(times.len() > 25 && times.len() < 90, "{}", times.len());
+    }
+
+    #[test]
+    fn sample_times_into_matches_sample_times() {
+        let proc_ = FailureArrivals::weibull(2.0, 0.7);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let mut buf = vec![99.0; 4]; // stale content must be cleared
+        for _ in 0..10 {
+            let owned = proc_.sample_times(30.0, &mut a);
+            proc_.sample_times_into(30.0, &mut b, &mut buf);
+            assert_eq!(owned, buf);
+        }
     }
 
     #[test]

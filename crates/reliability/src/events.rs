@@ -15,6 +15,8 @@
 //! * hierarchical L2 clusters of 4 distributed over 4 nodes → ≈ 1e-6;
 //! * distributed clusters of 16 over 16 nodes → ≈ 1e-15.
 
+use hcft_telemetry::HcftError;
+
 /// Distribution over failure-event classes. An event is either transient
 /// (no node loses its storage) or the simultaneous loss of `j ≥ 1` nodes
 /// chosen uniformly at random.
@@ -60,22 +62,34 @@ impl EventDistribution {
         }
     }
 
-    /// A custom distribution.
-    ///
-    /// # Panics
-    /// Panics unless the probabilities are non-negative and sum to 1
+    /// A custom distribution. Returns [`HcftError::Config`] unless every
+    /// probability is a finite non-negative number and they sum to 1
     /// (within 1e-9).
-    pub fn new(p_transient: f64, p_nodes: Vec<f64>) -> Self {
-        assert!(p_transient >= 0.0 && p_nodes.iter().all(|&p| p >= 0.0));
+    pub fn new(p_transient: f64, p_nodes: Vec<f64>) -> Result<Self, HcftError> {
+        if !p_transient.is_finite()
+            || p_transient < 0.0
+            || p_nodes.iter().any(|&p| !p.is_finite() || p < 0.0)
+        {
+            return Err(HcftError::Config(
+                "event probabilities must be finite and non-negative".to_string(),
+            ));
+        }
         let total: f64 = p_transient + p_nodes.iter().sum::<f64>();
-        assert!(
-            (total - 1.0).abs() < 1e-9,
-            "event probabilities sum to {total}, not 1"
-        );
-        EventDistribution {
+        if (total - 1.0).abs() >= 1e-9 {
+            return Err(HcftError::Config(format!(
+                "event probabilities sum to {total}, not 1"
+            )));
+        }
+        Ok(EventDistribution {
             p_transient,
             p_nodes,
-        }
+        })
+    }
+
+    /// Precompute the cumulative table + guide LUT used to draw event
+    /// classes in the Monte-Carlo hot loop.
+    pub fn sampler(&self) -> ClassSampler {
+        ClassSampler::new(self)
     }
 
     /// Largest simultaneous-failure cardinality with non-zero probability.
@@ -89,6 +103,92 @@ impl EventDistribution {
     /// Probability that an event involves node loss at all.
     pub fn p_node_loss(&self) -> f64 {
         self.p_nodes.iter().sum()
+    }
+}
+
+/// Precomputed event-class sampler: one uniform draw in `[0, 1)` maps to
+/// `None` (transient) or `Some(j)` (simultaneous loss of `j` nodes).
+///
+/// The class is located on a cumulative-probability table; a 256-bucket
+/// guide LUT skips the prefix of boundaries that cannot match the draw,
+/// so the expected scan length is ~1 regardless of how many correlated
+/// classes the distribution carries. [`ClassSampler::draw`] (LUT) and
+/// [`ClassSampler::draw_scan`] (plain linear scan, retained as the
+/// reference) compare the draw against the *same* boundaries and are
+/// therefore bit-identical — the campaign proptests rely on that.
+///
+/// A draw past the last boundary (possible only through floating-point
+/// rounding in the cumulative sums) clamps to the last class with
+/// non-zero probability instead of silently re-labelling the event.
+#[derive(Clone, Debug)]
+pub struct ClassSampler {
+    /// `bounds[0]` = P(transient); `bounds[k]` = P(transient) +
+    /// p_nodes[0] + … + p_nodes[k-1]. A draw `u` belongs to the first
+    /// `k` with `u < bounds[k]`.
+    bounds: Vec<f64>,
+    /// `lut[b]` = first boundary index worth testing for draws in
+    /// `[b/256, (b+1)/256)`: every earlier boundary is ≤ the bucket's
+    /// lower edge, so `u < bounds[k]` is false for it.
+    lut: [u32; 256],
+    /// Largest class with non-zero probability (0 = transient only).
+    last: usize,
+}
+
+impl ClassSampler {
+    fn new(events: &EventDistribution) -> Self {
+        let mut bounds = Vec::with_capacity(events.p_nodes.len() + 1);
+        let mut acc = events.p_transient;
+        bounds.push(acc);
+        for &p in &events.p_nodes {
+            acc += p;
+            bounds.push(acc);
+        }
+        let mut lut = [0u32; 256];
+        for (b, slot) in lut.iter_mut().enumerate() {
+            let lo = b as f64 / 256.0;
+            *slot = bounds.iter().position(|&x| x > lo).unwrap_or(bounds.len()) as u32;
+        }
+        ClassSampler {
+            bounds,
+            lut,
+            last: events.max_nodes(),
+        }
+    }
+
+    /// Map a uniform draw `u ∈ [0, 1)` to an event class (LUT-guided).
+    #[inline]
+    pub fn draw(&self, u: f64) -> Option<usize> {
+        let bucket = ((u * 256.0) as usize).min(255);
+        let mut k = self.lut[bucket] as usize;
+        while k < self.bounds.len() {
+            if u < self.bounds[k] {
+                return if k == 0 { None } else { Some(k) };
+            }
+            k += 1;
+        }
+        // FP rounding pushed u past the final cumulative sum.
+        if self.last == 0 {
+            None
+        } else {
+            Some(self.last)
+        }
+    }
+
+    /// Plain linear scan over the same boundaries — the scalar reference
+    /// the campaign's `run_trial_reference` uses. Bit-identical to
+    /// [`ClassSampler::draw`] for every `u`.
+    #[inline]
+    pub fn draw_scan(&self, u: f64) -> Option<usize> {
+        for (k, &b) in self.bounds.iter().enumerate() {
+            if u < b {
+                return if k == 0 { None } else { Some(k) };
+            }
+        }
+        if self.last == 0 {
+            None
+        } else {
+            Some(self.last)
+        }
     }
 }
 
@@ -121,8 +221,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sum to")]
     fn new_rejects_unnormalised() {
-        EventDistribution::new(0.5, vec![0.6]);
+        let err = EventDistribution::new(0.5, vec![0.6]).unwrap_err();
+        assert!(matches!(err, HcftError::Config(_)), "{err:?}");
+        let err = EventDistribution::new(-0.1, vec![1.1]).unwrap_err();
+        assert!(matches!(err, HcftError::Config(_)), "{err:?}");
+        let err = EventDistribution::new(f64::NAN, vec![1.0]).unwrap_err();
+        assert!(matches!(err, HcftError::Config(_)), "{err:?}");
+        let ok = EventDistribution::new(0.25, vec![0.5, 0.25]).unwrap();
+        assert_eq!(ok.max_nodes(), 2);
+    }
+
+    #[test]
+    fn sampler_covers_the_distribution() {
+        let d = EventDistribution::fti_calibrated();
+        let s = d.sampler();
+        // Boundary cases: 0 is transient (p_transient > 0), a draw in the
+        // single-node bulk is Some(1), a draw just under 1 lands in the
+        // support, and the clamp path returns the last class.
+        assert_eq!(s.draw(0.0), None);
+        assert_eq!(s.draw(0.5), Some(1));
+        let tail = s.draw(1.0 - 1e-12).expect("support");
+        assert!(tail >= 1 && tail <= d.max_nodes());
+        assert_eq!(s.draw(1.0), Some(d.max_nodes()));
+    }
+
+    #[test]
+    fn sampler_lut_matches_scan_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let dists = [
+            EventDistribution::fti_calibrated(),
+            EventDistribution::single_node_only(),
+            EventDistribution::new(1.0, vec![]).unwrap(),
+            EventDistribution::new(0.3, vec![0.0, 0.7]).unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(0xC1A55);
+        for d in &dists {
+            let s = d.sampler();
+            for _ in 0..20_000 {
+                let u: f64 = rng.random();
+                assert_eq!(s.draw(u), s.draw_scan(u), "u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_matches_subtractive_frequencies() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let d = EventDistribution::fti_calibrated();
+        let s = d.sampler();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut transient = 0usize;
+        let mut single = 0usize;
+        for _ in 0..n {
+            match s.draw(rng.random()) {
+                None => transient += 1,
+                Some(1) => single += 1,
+                Some(_) => {}
+            }
+        }
+        assert!((transient as f64 / n as f64 - d.p_transient).abs() < 0.01);
+        assert!((single as f64 / n as f64 - d.p_nodes[0]).abs() < 0.01);
     }
 }

@@ -25,5 +25,5 @@ pub mod model;
 
 pub use arrivals::FailureArrivals;
 pub use efficiency::EfficiencyModel;
-pub use events::EventDistribution;
+pub use events::{ClassSampler, EventDistribution};
 pub use model::ReliabilityModel;

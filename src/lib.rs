@@ -68,7 +68,10 @@ pub mod prelude {
         ClusteringScheme, ClusteringStrategy, Evaluator, FourDScore, HierarchicalConfig,
         StrategyContext,
     };
-    pub use hcft_core::campaign::{simulate_campaign, CampaignConfig, CampaignOutcome};
+    pub use hcft_core::campaign::{
+        simulate_campaign, simulate_campaign_stats, CampaignConfig, CampaignGrid, CampaignOutcome,
+        CampaignStats, CiTarget, GridStrategy, StopRule,
+    };
     pub use hcft_core::drill::{DrillConfig, LockstepDrill};
     pub use hcft_core::experiment::{run_traced_job, TraceResult, TracedJobConfig};
     pub use hcft_core::replay::{
