@@ -34,6 +34,12 @@
 //!   at least four worker threads are available, and must never fall
 //!   behind it beyond the noise margin (on one hardware thread the
 //!   engine runs inline, so the requirement degrades to "no overhead");
+//! * the `sched_mixed` stage runs a deliberately imbalanced mixed job
+//!   on the task scheduler with work stealing off and on; the steal-on
+//!   run must be ≥1.4x faster when at least four hardware-backed
+//!   workers are available (loose 0.75x "no overhead" floor below
+//!   that), both runs must trace byte-identical matrices, and the
+//!   `simmpi.sched.*` steal/preemption counters must move;
 //! * the `ranks_22k` stage (paper scale, skipped under
 //!   `BENCH_PIPELINE_QUICK`) runs a full-TSUBAME2 traced job — 1408
 //!   nodes × 16 app ranks + encoders = 23 936 simulated ranks, far past
@@ -424,6 +430,127 @@ fn main() {
         }
     }
 
+    // Scheduler stealing gate: a deliberately imbalanced mixed workload.
+    // With `workers` workers and 4·workers ranks the static chunk
+    // placement puts four ranks on each worker, and the first `workers`
+    // ranks are heavy compute loops — so the low-numbered workers each
+    // own several heavies while the rest own only trivial ranks. With
+    // stealing off the heavy homes grind through their pile serially;
+    // with stealing on the idle workers pull the surplus over. Stealing
+    // moves *where* a rank runs, never what it computes: outputs and
+    // byte matrices must match exactly.
+    let sched_workers = std::env::var("HCFT_SIMMPI_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(effective);
+    {
+        use hcft_simmpi::{Engine, World, WorldConfig};
+        let workers = sched_workers;
+        let n = workers * 4;
+        let heavy_reps: u64 = if quick { 600 } else { 2_000 };
+        eprintln!(
+            "[bench_pipeline] mixed: {n}-rank imbalanced job on {workers} workers, \
+             steal off vs on…"
+        );
+        let run = |steal: bool| {
+            let cfg = WorldConfig {
+                workers,
+                engine: Engine::Tasks,
+                steal: Some(steal),
+                yield_budget: Some(32),
+                recv_timeout: std::time::Duration::from_secs(120),
+                ..WorldConfig::default()
+            };
+            World::run_with(n, cfg, move |c| {
+                let rank = c.rank();
+                let last = c.size() - 1;
+                let value = if rank < workers {
+                    // Heavy: a 1-D relaxation over 32k cells, repeated,
+                    // with one deterministic yield point per sweep.
+                    let mut grid = vec![0.0f64; 64 * 512];
+                    for (i, g) in grid.iter_mut().enumerate() {
+                        *g = (rank * 31 + i) as f64 * 1e-6;
+                    }
+                    let mut acc = 0.0f64;
+                    for _ in 0..heavy_reps {
+                        hcft_simmpi::maybe_yield();
+                        for i in 1..64 * 512 - 1 {
+                            grid[i] = 0.25 * grid[i - 1] + 0.5 * grid[i] + 0.25 * grid[i + 1];
+                        }
+                        acc += grid[grid.len() / 2];
+                    }
+                    acc.to_bits()
+                } else {
+                    // Light: a dab of integer mixing.
+                    let mut acc = rank as u64;
+                    for i in 0..20_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    acc
+                };
+                // Funnel every result to the last (light) rank so the
+                // trace has a fixed, order-checked shape.
+                if rank == last {
+                    let mut sum = value;
+                    for src in 0..last {
+                        sum = sum.wrapping_add(c.recv_vec::<u64>(src, 42)[0]);
+                    }
+                    sum
+                } else {
+                    c.send_slice(last, 42, &[value]);
+                    value
+                }
+            })
+        };
+        let steal_hits = reg.counter("simmpi.sched.steal_hits");
+        let preemptions = reg.counter("simmpi.sched.preemptions");
+        let (t_off, out_off) = time_min(1, || run(false));
+        let hits_before = steal_hits.get();
+        let preempt_before = preemptions.get();
+        let (t_on, out_on) = time_min(1, || run(true));
+        let hits_delta = steal_hits.get() - hits_before;
+        let preempt_delta = preemptions.get() - preempt_before;
+        assert_eq!(
+            out_off.outputs, out_on.outputs,
+            "work stealing changed rank outputs"
+        );
+        assert_eq!(
+            out_off.trace.byte_matrix(),
+            out_on.trace.byte_matrix(),
+            "work stealing changed the traffic matrix"
+        );
+        assert!(
+            preempt_delta > 0,
+            "yield budget 32 produced no preemptions in the mixed job"
+        );
+        if workers >= 4 {
+            assert!(
+                hits_delta > 0,
+                "stealing enabled on {workers} workers but simmpi.sched.steal_hits \
+                 never moved"
+            );
+        }
+        let steal_speedup = t_off / t_on;
+        eprintln!(
+            "sched   mixed  steal-on {t_on:7.3} s vs steal-off {t_off:7.3} s \
+             ({steal_speedup:.2}x, {workers} workers, {hits_delta} steals, \
+             {preempt_delta} preemptions)"
+        );
+        rows.push(Row {
+            scale: "mixed",
+            stage: "sched_mixed",
+            seconds: t_on,
+            baseline_seconds: t_off,
+            speedup: steal_speedup,
+            allocs: 0,
+        });
+        reg.gauge("bench.pipeline.mixed.sched_mixed.seconds")
+            .set(t_on);
+        reg.gauge("bench.pipeline.mixed.sched_mixed.speedup")
+            .set(steal_speedup);
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     writeln!(json, "  \"bench\": \"pipeline\",").expect("write");
@@ -488,6 +615,18 @@ fn main() {
                      (need {required:.2}x)",
                     r.speedup,
                     r.scale
+                );
+            }
+            "sched_mixed" => {
+                // Stealing can only win where hardware threads back the
+                // workers; below four it degrades to "no overhead".
+                let backed = sched_workers.min(effective);
+                let required = if backed >= 4 { 1.4 } else { 0.75 };
+                assert!(
+                    r.speedup >= required,
+                    "perf regression: work stealing is {:.2}x the steal-off \
+                     baseline on {backed} hardware-backed workers (need {required:.2}x)",
+                    r.speedup
                 );
             }
             _ => {}

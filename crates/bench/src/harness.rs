@@ -45,6 +45,8 @@ impl Scale {
                 mailbox_shards: 0,
                 workers: 0,
                 engine: hcft_simmpi::Engine::Auto,
+                steal: None,
+                yield_budget: None,
             },
         }
     }

@@ -295,11 +295,6 @@ impl LockstepDrill {
 
     /// Kill a node: its ranks lose their in-memory state and its on-disk
     /// checkpoint data is destroyed.
-    #[deprecated(note = "describe the failure with a FaultScenario and call inject()")]
-    pub fn inject_node_failure(&mut self, node: NodeId) -> Result<(), HcftError> {
-        self.kill_node(node)
-    }
-
     fn kill_node(&mut self, node: NodeId) -> Result<(), HcftError> {
         let mut lost = 0u64;
         for &r in self.placement.ranks_on(node) {
@@ -658,12 +653,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_node_failure_shim_still_kills() {
+    fn scenario_node_loss_kills_and_recovers() {
         let dir = TempDir::new();
         let mut drill = hierarchical_drill(&dir);
         drill.run_to(7).expect("run");
-        drill.inject_node_failure(NodeId(5)).expect("kill");
+        let dead = drill
+            .inject(&FaultScenario::node_loss(NodeId(5), 7))
+            .expect("kill");
+        assert_eq!(dead.len(), 4);
         assert_eq!(drill.dead_ranks().len(), 4);
         drill.recover().expect("recover");
         assert_eq!(drill.global_eta(), reference_field(&drill, 7));

@@ -70,6 +70,14 @@ pub struct TracedJobConfig {
     /// determinism suite pins [`Engine::Threads`] to prove both engines
     /// trace identical bytes.
     pub engine: Engine,
+    /// Work stealing between task-engine workers (`None` = runtime
+    /// default: `HCFT_SIMMPI_STEAL`, else off). The determinism suite
+    /// and `bench_pipeline`'s `sched_mixed` row pin both settings in one
+    /// process, which an env knob alone cannot do.
+    pub steal: Option<bool>,
+    /// Cooperative preemption budget for the task engine (`None` =
+    /// runtime default: `HCFT_SIMMPI_YIELD_BUDGET`, else 0 = never).
+    pub yield_budget: Option<u32>,
 }
 
 impl TracedJobConfig {
@@ -155,6 +163,8 @@ impl TracedJobConfigBuilder {
                 mailbox_shards: 0,
                 workers: 0,
                 engine: Engine::Auto,
+                steal: None,
+                yield_budget: None,
             },
             explicit_grid: false,
         }
@@ -228,6 +238,18 @@ impl TracedJobConfigBuilder {
     /// Pin the execution engine (default [`Engine::Auto`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.cfg.engine = engine;
+        self
+    }
+
+    /// Pin task-engine work stealing on or off (default: runtime env).
+    pub fn steal(mut self, steal: bool) -> Self {
+        self.cfg.steal = Some(steal);
+        self
+    }
+
+    /// Pin the task-engine yield budget (default: runtime env).
+    pub fn yield_budget(mut self, budget: u32) -> Self {
+        self.cfg.yield_budget = Some(budget);
         self
     }
 
@@ -310,6 +332,8 @@ pub fn run_traced_world(cfg: &TracedJobConfig) -> TracedWorld {
         mailbox_shards: cfg.mailbox_shards,
         workers: cfg.workers,
         engine: cfg.engine,
+        steal: cfg.steal,
+        yield_budget: cfg.yield_budget,
         ..WorldConfig::default()
     };
     let cfg2 = Arc::clone(&cfg);
@@ -469,6 +493,10 @@ fn run_encoder_rank(
                 Some(b) => enc_comm.send_shared(next, tag, b),
             }
             let got = enc_comm.recv_bytes(prev, tag);
+            // One preemption point per erasure stripe: encoder ranks are
+            // the fast half of mixed workloads, and yielding here keeps
+            // them from starving co-located app ranks (and vice versa).
+            hcft_simmpi::maybe_yield();
             // Accumulate with a non-trivial coefficient, as RS would.
             hcft_erasure::gf256::mul_acc(&mut parity, &got, (step + 2) as u8);
             travelling = Some(got);
@@ -591,6 +619,8 @@ mod tests {
             mailbox_shards: 0,
             workers: 0,
             engine: Engine::Auto,
+            steal: None,
+            yield_budget: None,
         });
         let hier_cfg = HierarchicalConfig {
             min_nodes_per_l1: 4,

@@ -436,9 +436,9 @@ impl ReplayConfig {
     }
 }
 
-/// What a scenario run did, in numbers — the unified report the old
-/// scattered entry points (`inject_node_failure` + `recover` + ad-hoc
-/// counters) never produced.
+/// What a scenario run did, in numbers — the unified report the
+/// drill's pre-`FaultScenario` entry points (manual kill + `recover` +
+/// ad-hoc counters) never produced.
 #[derive(Debug)]
 pub struct ReplayOutcome {
     /// Iteration at which the primary failure struck.

@@ -32,7 +32,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use hcft_telemetry::{Counter, Registry};
+use hcft_telemetry::{Counter, HcftError, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::comm::Comm;
@@ -46,10 +46,22 @@ pub(crate) type MsgKey = (u64, u32, u32);
 /// Default shard count per mailbox (capped at the world size).
 const DEFAULT_SHARDS: usize = 8;
 
+/// Default coroutine/thread stack size when neither `WorldConfig` nor
+/// `HCFT_SIMMPI_STACK_KB` says otherwise.
+const DEFAULT_STACK_SIZE: usize = 512 * 1024;
+/// Accepted `HCFT_SIMMPI_STACK_KB` range. The floor keeps headroom for
+/// the panic machinery the deadlock watchdog relies on; the ceiling (1
+/// GiB in KiB) catches byte-vs-KiB confusion before the slab allocator
+/// tries to honour it times the rank count.
+const MIN_STACK_KB: usize = 64;
+const MAX_STACK_KB: usize = 1 << 20;
+
 /// Yield slices a receiver burns before parking on the shard condvar
 /// (`HCFT_SIMMPI_YIELD_SPINS` env override; 0 disables the yield phase).
 /// Thread engine only; task receivers switch to another rank instead.
-fn yield_budget() -> u32 {
+/// (Distinct from `HCFT_SIMMPI_YIELD_BUDGET`, the task-engine
+/// preemption budget.)
+fn yield_spins() -> u32 {
     static BUDGET: OnceLock<u32> = OnceLock::new();
     *BUDGET.get_or_init(|| {
         std::env::var("HCFT_SIMMPI_YIELD_SPINS")
@@ -90,6 +102,53 @@ fn env_engine() -> Option<Engine> {
         Ok("threads") => Some(Engine::Threads),
         _ => None,
     })
+}
+
+/// `HCFT_SIMMPI_STEAL` (cached): work stealing between task-engine
+/// workers.
+fn env_steal() -> Option<bool> {
+    static STEAL: OnceLock<Option<bool>> = OnceLock::new();
+    *STEAL.get_or_init(|| match std::env::var("HCFT_SIMMPI_STEAL").as_deref() {
+        Ok("1") | Ok("true") => Some(true),
+        Ok("0") | Ok("false") => Some(false),
+        _ => None,
+    })
+}
+
+/// `HCFT_SIMMPI_YIELD_BUDGET` (cached): `maybe_yield` calls between
+/// cooperative preemptions; 0 disables preemption.
+fn env_yield_budget() -> Option<u32> {
+    static BUDGET: OnceLock<Option<u32>> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("HCFT_SIMMPI_YIELD_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// `HCFT_SIMMPI_STACK_KB` (cached): per-rank stack size in KiB,
+/// validated once. The error (if any) is reported per world through
+/// [`WorldConfig::validate`] / `World::run_with`.
+fn env_stack_kb() -> &'static Result<Option<usize>, String> {
+    static STACK: OnceLock<Result<Option<usize>, String>> = OnceLock::new();
+    STACK.get_or_init(|| match std::env::var("HCFT_SIMMPI_STACK_KB") {
+        Ok(raw) => validate_stack_kb(&raw).map(Some),
+        Err(_) => Ok(None),
+    })
+}
+
+/// Parse + range-check a `HCFT_SIMMPI_STACK_KB` value; returns bytes.
+fn validate_stack_kb(raw: &str) -> Result<usize, String> {
+    let kb: usize = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("HCFT_SIMMPI_STACK_KB must be an integer KiB count, got {raw:?}"))?;
+    if !(MIN_STACK_KB..=MAX_STACK_KB).contains(&kb) {
+        return Err(format!(
+            "HCFT_SIMMPI_STACK_KB must be between {MIN_STACK_KB} and {MAX_STACK_KB} KiB, got {kb}"
+        ));
+    }
+    Ok(kb * 1024)
 }
 
 /// FNV-1a over the key words. The default SipHash hasher is a measurable
@@ -421,7 +480,7 @@ impl Shared {
         // times lets it run and deliver, avoiding a futex park + wake
         // round trip per halo message. Only after the yield budget is
         // spent do we register as a waiter and park on the shard condvar.
-        let yield_budget = yield_budget();
+        let yield_budget = yield_spins();
         let shard = self.mailboxes[rank].shard(&key);
         let deadline = Instant::now() + self.recv_timeout;
         let mut yields = 0u32;
@@ -546,7 +605,8 @@ pub enum Engine {
 /// Tunables for a world run.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
-    /// Per-rank stack size in bytes (thread stack or coroutine stack).
+    /// Per-rank stack size in bytes (thread stack or coroutine stack);
+    /// 0 = auto (`HCFT_SIMMPI_STACK_KB` env override, else 512 KiB).
     pub stack_size: usize,
     /// How long a blocking receive may wait before declaring deadlock.
     pub recv_timeout: Duration,
@@ -563,18 +623,42 @@ pub struct WorldConfig {
     pub workers: usize,
     /// Execution engine selection.
     pub engine: Engine,
+    /// Work stealing between task-engine workers: idle workers take
+    /// runnable ranks from saturated ones. Changes only *where* a rank
+    /// runs, never message order — traces stay byte-identical. `None` =
+    /// auto (`HCFT_SIMMPI_STEAL` env override, default off).
+    pub steal: Option<bool>,
+    /// Cooperative preemption budget for the task engine: a rank body
+    /// switches out after this many [`maybe_yield`] calls, so
+    /// long-computing kernels cannot starve their worker's other ranks.
+    /// Deterministic (call-count based, never timer based). `None` =
+    /// auto (`HCFT_SIMMPI_YIELD_BUDGET` env override, default 0 = never
+    /// preempt).
+    pub yield_budget: Option<u32>,
 }
 
 impl Default for WorldConfig {
     fn default() -> Self {
         WorldConfig {
-            stack_size: 512 * 1024,
+            stack_size: 0,
             recv_timeout: Duration::from_secs(60),
             trace_events: false,
             mailbox_shards: 0,
             workers: 0,
             engine: Engine::Auto,
+            steal: None,
+            yield_budget: None,
         }
+    }
+}
+
+impl WorldConfig {
+    /// Validate the configuration, including environment overrides
+    /// (currently `HCFT_SIMMPI_STACK_KB`). `World::run_with` performs
+    /// the same checks and panics on failure; call this first to reject
+    /// invalid configuration gracefully.
+    pub fn validate(&self) -> Result<(), HcftError> {
+        resolve_stack_size(self).map(|_| ())
     }
 }
 
@@ -619,6 +703,47 @@ fn resolve_workers(cfg: &WorldConfig, n: usize) -> usize {
         })
     };
     requested.clamp(1, n)
+}
+
+/// Per-rank stack size in bytes: explicit config wins, then the
+/// (validated) `HCFT_SIMMPI_STACK_KB` override, then 512 KiB.
+fn resolve_stack_size(cfg: &WorldConfig) -> Result<usize, HcftError> {
+    if cfg.stack_size > 0 {
+        return Ok(cfg.stack_size);
+    }
+    match env_stack_kb() {
+        Ok(Some(bytes)) => Ok(*bytes),
+        Ok(None) => Ok(DEFAULT_STACK_SIZE),
+        Err(msg) => Err(HcftError::Config(msg.clone())),
+    }
+}
+
+/// Work stealing for this run: explicit config wins, then the env
+/// override, then off.
+fn resolve_steal(cfg: &WorldConfig) -> bool {
+    cfg.steal.or_else(env_steal).unwrap_or(false)
+}
+
+/// Yield budget for this run: explicit config wins, then the env
+/// override, then 0 (never preempt).
+fn resolve_yield_budget(cfg: &WorldConfig) -> u32 {
+    cfg.yield_budget.or_else(env_yield_budget).unwrap_or(0)
+}
+
+/// Cooperative preemption hook for long-computing rank bodies.
+///
+/// Compute kernels call this once per natural unit of work — a stencil
+/// tile, an erasure stripe. Under the task engine with a yield budget
+/// configured ([`WorldConfig::yield_budget`] /
+/// `HCFT_SIMMPI_YIELD_BUDGET`), every budget-th call switches to the
+/// next runnable rank, bounding how long one rank can monopolise a
+/// scheduler worker. Everywhere else — thread engine, non-rank threads,
+/// budget 0 — it is a couple of branches. Yield points are counted, not
+/// timed, so preemption never perturbs message contents or order:
+/// traces stay byte-identical at any budget.
+#[inline]
+pub fn maybe_yield() {
+    sched::maybe_yield_task();
 }
 
 /// A finished world run: per-rank outputs (rank-ordered) plus the trace.
@@ -718,6 +843,10 @@ impl World {
         assert!(n > 0, "world needs at least one rank");
         let shards = resolve_shards(&cfg, n);
         let engine = resolve_engine(&cfg);
+        let stack_size = match resolve_stack_size(&cfg) {
+            Ok(bytes) => bytes,
+            Err(e) => panic!("{e}"),
+        };
         let reg = Registry::global();
         reg.counter("simmpi.worlds").inc();
         reg.gauge("simmpi.mailbox.shards").set(shards as f64);
@@ -735,8 +864,8 @@ impl World {
         });
         let f = Arc::new(f);
         let outputs = match engine {
-            Engine::Tasks => Self::run_tasks(n, &cfg, &shared, f),
-            _ => Self::run_threads(n, &cfg, &shared, f),
+            Engine::Tasks => Self::run_tasks(n, &cfg, stack_size, &shared, f),
+            _ => Self::run_threads(n, stack_size, &shared, f),
         };
         let mut outs = Vec::with_capacity(n);
         let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
@@ -764,7 +893,7 @@ impl World {
     /// Thread engine: one named OS thread per rank.
     fn run_threads<T, F>(
         n: usize,
-        cfg: &WorldConfig,
+        stack_size: usize,
         shared: &Arc<Shared>,
         f: Arc<F>,
     ) -> Vec<std::thread::Result<T>>
@@ -778,7 +907,7 @@ impl World {
             let f = Arc::clone(&f);
             let handle = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
-                .stack_size(cfg.stack_size)
+                .stack_size(stack_size)
                 .spawn(move || {
                     let mut comm = Comm::world(Arc::clone(&shared), rank);
                     let out = f(&mut comm);
@@ -800,6 +929,7 @@ impl World {
     fn run_tasks<T, F>(
         n: usize,
         cfg: &WorldConfig,
+        stack_size: usize,
         shared: &Arc<Shared>,
         f: Arc<F>,
     ) -> Vec<std::thread::Result<T>>
@@ -808,9 +938,13 @@ impl World {
         F: Fn(&mut Comm) -> T + Send + Sync + 'static,
     {
         let workers = resolve_workers(cfg, n);
-        Registry::global()
-            .gauge("simmpi.sched.workers")
-            .set(workers as f64);
+        let steal = resolve_steal(cfg);
+        let yield_budget = resolve_yield_budget(cfg);
+        let reg = Registry::global();
+        reg.gauge("simmpi.sched.workers").set(workers as f64);
+        reg.gauge("simmpi.sched.steal").set(u64::from(steal) as f64);
+        reg.gauge("simmpi.sched.yield_budget")
+            .set(yield_budget as f64);
         // Idle workers double as the deadline watchdog for their own
         // blocked tasks; scanning at a fraction of the receive timeout
         // keeps detection latency proportional to the configured limit.
@@ -832,7 +966,7 @@ impl World {
                 }) as Box<dyn FnOnce() + Send>
             })
             .collect();
-        let sched = TaskSched::new(workers, cfg.stack_size, watchdog, bodies);
+        let sched = TaskSched::new(workers, stack_size, watchdog, steal, yield_budget, bodies);
         // Senders need the scheduler to wake receivers; install it before
         // the first task can possibly run.
         if shared.sched.set(Arc::clone(&sched)).is_err() {
@@ -863,6 +997,91 @@ mod tests {
     fn single_rank_world_runs() {
         let r = World::run(1, |c| c.rank() * 10 + c.size());
         assert_eq!(r.outputs, vec![1]);
+    }
+
+    #[test]
+    fn stack_kb_validation_rejects_garbage_and_extremes() {
+        assert!(validate_stack_kb("512").is_ok_and(|b| b == 512 * 1024));
+        assert!(validate_stack_kb(" 1024 ").is_ok_and(|b| b == 1024 * 1024));
+        for bad in ["", "abc", "-1", "0", "63", "12.5", "1048577"] {
+            let err = validate_stack_kb(bad).expect_err(bad);
+            assert!(err.contains("HCFT_SIMMPI_STACK_KB"), "{err}");
+        }
+        // The world-construction surface wraps the same check in
+        // HcftError::Config (via the cached env read, which is absent or
+        // valid in the test environment — so this validates clean).
+        assert!(WorldConfig::default().validate().is_ok());
+        let cfg = WorldConfig {
+            stack_size: 256 * 1024,
+            ..WorldConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn explicit_steal_and_yield_budget_override_env() {
+        let cfg = WorldConfig {
+            steal: Some(true),
+            yield_budget: Some(9),
+            ..WorldConfig::default()
+        };
+        assert!(resolve_steal(&cfg));
+        assert_eq!(resolve_yield_budget(&cfg), 9);
+        let auto = WorldConfig::default();
+        // With no env override the defaults are off/0; with one set the
+        // cached value applies — either way Some(..) wins above.
+        let _ = resolve_steal(&auto);
+        let _ = resolve_yield_budget(&auto);
+    }
+
+    #[test]
+    fn maybe_yield_is_safe_everywhere() {
+        // Off-world (no task context): a no-op.
+        maybe_yield();
+        // Thread engine: also a no-op, any number of times.
+        let cfg = WorldConfig {
+            engine: Engine::Threads,
+            yield_budget: Some(2),
+            ..WorldConfig::default()
+        };
+        let r = World::run_with(2, cfg, |c| {
+            for _ in 0..10 {
+                maybe_yield();
+            }
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(r.outputs, vec![0, 1]);
+    }
+
+    #[test]
+    fn worlds_run_with_stealing_and_yield_budget() {
+        // Smoke the full knob surface on both steal settings: results
+        // and traffic must be identical.
+        let run = |steal: bool| {
+            let cfg = WorldConfig {
+                steal: Some(steal),
+                yield_budget: Some(3),
+                workers: 2,
+                engine: Engine::Tasks,
+                ..WorldConfig::default()
+            };
+            World::run_with(8, cfg, |c| {
+                let mut acc = 0u64;
+                for step in 0..20u64 {
+                    maybe_yield();
+                    let peer = (c.rank() + 1) % c.size();
+                    let from = (c.rank() + c.size() - 1) % c.size();
+                    c.send_slice(peer, 5, &[c.rank() as u64 * 1000 + step]);
+                    acc += c.recv_vec::<u64>(from, 5)[0];
+                }
+                acc
+            })
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.outputs, on.outputs);
+        assert_eq!(off.trace.byte_matrix(), on.trace.byte_matrix());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! M:N cooperative scheduler: rank bodies as stackful coroutines.
+//! M:N scheduler: rank bodies as stackful coroutines, with optional
+//! work stealing and cooperative preemption.
 //!
 //! Thread-per-rank tops out well below full-machine scale: the kernel
 //! caps task counts (`pid_max` is 32768 here) long before the paper's
@@ -11,28 +12,46 @@
 //!
 //! Design invariants, in order of importance:
 //!
-//! * **Static home workers.** Rank `r` is owned by worker `r / chunk`
-//!   forever; tasks never migrate. Only the home worker ever resumes a
-//!   task, so a waker can enqueue a task id the instant it flips the
-//!   task's state — the home worker is by definition busy completing that
-//!   task's context save (or doing something else) and cannot resume it
-//!   concurrently. No other synchronisation of the saved context is
-//!   needed. Block assignment also co-locates stencil neighbours.
+//! * **Single-owner hand-off.** Exactly one thread "holds" a task at any
+//!   instant: the worker currently running it, the worker completing its
+//!   context save, or (while queued) nobody — the next holder is whoever
+//!   pops it from a run queue. Every hand-off goes through a
+//!   release/acquire edge (a state CAS or a queue push/pop), so the saved
+//!   stack pointer and the task-private cells are always visible to the
+//!   next holder even when that is a *different* worker (work stealing).
+//! * **Two-phase block.** A task cannot be woken between "announced it
+//!   will block" and "finished saving its context": `prepare_block`
+//!   stores `BLOCKING` (under the mailbox shard lock), and only after the
+//!   switch back does the worker CAS `BLOCKING → BLOCKED`, publishing the
+//!   saved context. A sender that races in between CASes
+//!   `BLOCKING → WOKEN` instead; the switching worker sees its CAS fail
+//!   and finishes the wake itself, *after* the save. Without stealing the
+//!   home worker both saves and resumes, hiding this race; with stealing
+//!   any worker may resume, so the protocol is load-bearing.
 //! * **Wake ownership by CAS.** A blocked task is woken by exactly one
 //!   party: a sender that finds the task's id registered on the message
-//!   channel, or the home worker's deadline watchdog. Both race through
-//!   one `compare_exchange(BLOCKED → READY)`; the loser does nothing.
-//! * **Single-threaded task cells.** A task's saved stack pointer,
-//!   deadline and timeout flag are only touched by code running *on the
-//!   home worker* (the task itself, or the worker loop), so they are
-//!   plain `Cell`s; cross-thread traffic goes through the one atomic
-//!   state word.
+//!   channel, or the deadline watchdog. All wakers race through one
+//!   `compare_exchange` on the state word; the loser does nothing.
+//! * **Quiescence-gated watchdog.** The receive-deadline watchdog may
+//!   declare timeouts only when the global runnable count is zero. Every
+//!   sender is itself a running task, so `runnable == 0` means no message
+//!   can be in flight — true deadlock. A legitimately long-computing rank
+//!   (no yield budget) keeps `runnable > 0` and can never trip a false
+//!   positive, no matter how many receive deadlines lapse meanwhile.
+//!
+//! Work stealing (`HCFT_SIMMPI_STEAL=1` / `WorldConfig::steal`) moves
+//! only *where* a rank body executes, never *what* it does: per-channel
+//! FIFO is a property of the mailbox fabric and collective combining
+//! orders are fixed by the algorithms, so traces stay byte-identical with
+//! stealing on or off (pinned by `tests/scheduler_determinism.rs`).
+//! Yield budgets (`HCFT_SIMMPI_YIELD_BUDGET`) preempt at *call counts*,
+//! never timers, for the same reason.
 //!
 //! The context switch is ~20 instructions of inline assembly (x86_64
 //! SysV: save/restore the six callee-saved GPRs plus `rsp`; the FP/SSE
 //! control words are never modified by generated code, and no xmm
 //! register is callee-saved). Stacks are carved out of large slabs — one
-//! `mmap` per ~512 stacks — so 100k ranks do not exhaust
+//! allocation per ~512 stacks — so 100k ranks do not exhaust
 //! `vm.max_map_count`. There are no guard pages; a canary word at the
 //! stack base turns silent overflow into a loud panic at the next
 //! switch.
@@ -49,13 +68,12 @@ pub(crate) const SUPPORTED: bool = cfg!(all(target_arch = "x86_64", target_os = 
 
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 mod imp {
-    use std::cell::{Cell, RefCell, UnsafeCell};
-    use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+    use std::cell::{Cell, UnsafeCell};
+    use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
-    use hcft_telemetry::{Counter, Registry};
+    use hcft_telemetry::{Counter, Histogram, Registry};
     use parking_lot::{Condvar, Mutex};
 
     // ----- context switch ------------------------------------------------
@@ -112,12 +130,18 @@ mod imp {
 
     // ----- task state ----------------------------------------------------
 
-    /// Runnable (queued or currently executing on its home worker).
+    /// Runnable: queued on a run queue or currently executing.
     const READY: u8 = 0;
-    /// Parked on a message channel, waiting for a wake.
+    /// Parked on a message channel; saved context is published.
     const BLOCKED: u8 = 1;
     /// Body returned; never resumed again.
     const DONE: u8 = 2;
+    /// Mid-switch: the task announced it will block but its context save
+    /// may not be complete. Wakers must not queue it yet.
+    const BLOCKING: u8 = 3;
+    /// A waker caught the task at `BLOCKING`: the wake is owed, and the
+    /// worker completing the switch pays it (requeues the task).
+    const WOKEN: u8 = 4;
 
     /// Written at the lowest address of every stack; clobbered means the
     /// task overflowed (there are no guard pages).
@@ -128,27 +152,40 @@ mod imp {
     pub(crate) enum Reason {
         Blocked,
         Done,
+        /// Cooperative preemption: the task exhausted its yield budget
+        /// and goes back on the run queue, still `READY`.
+        Yielded,
     }
 
-    /// One rank task. Cells are home-worker-only (see module docs); the
-    /// `state` word is the sole cross-thread handshake.
+    /// One rank task. The non-atomic fields are only touched by the
+    /// thread currently holding the task (see module docs: single-owner
+    /// hand-off); `state` and `deadline_ns` carry the cross-thread
+    /// handshakes.
     struct Task {
         state: AtomicU8,
-        /// Saved stack pointer while suspended.
+        /// Saved stack pointer while suspended. Written by the holder
+        /// during the context switch; published to the next holder by the
+        /// state CAS or run-queue push that follows the save.
         sp: Cell<*mut u8>,
         /// Lowest address of this task's stack (canary location).
         stack_lo: *mut u8,
-        /// Receive deadline while blocked (watchdog input).
-        deadline: Cell<Option<Instant>>,
+        /// Receive deadline while blocked, as nanoseconds relative to the
+        /// scheduler epoch; 0 = none. Atomic because the watchdog reads
+        /// it from outside the hand-off chain.
+        deadline_ns: AtomicU64,
         /// Set by the watchdog before a timeout wake.
         timed_out: Cell<bool>,
+        /// Remaining `maybe_yield` calls before the task switches out.
+        yield_left: Cell<u32>,
         /// The rank body; taken on first entry.
         body: UnsafeCell<Option<Box<dyn FnOnce() + Send>>>,
     }
 
-    // SAFETY: `sp`/`deadline`/`timed_out`/`body` are only accessed from
-    // the task's home worker thread (the static-ownership invariant);
-    // `state` is atomic. `stack_lo` is immutable.
+    // SAFETY: `sp`/`timed_out`/`yield_left`/`body` are only accessed by
+    // the thread currently holding the task, and every hand-off between
+    // holders goes through a release/acquire edge (state CAS, run-queue
+    // push/pop, or injector mutex). `state` and `deadline_ns` are
+    // atomic; `stack_lo` is immutable.
     unsafe impl Send for Task {}
     unsafe impl Sync for Task {}
 
@@ -168,6 +205,84 @@ mod imp {
         fn drop(&mut self) {
             // SAFETY: allocated with this layout in `TaskSched::new`.
             unsafe { std::alloc::dealloc(self.base, self.layout) };
+        }
+    }
+
+    // ----- run queues ----------------------------------------------------
+
+    /// Fixed-capacity FIFO run queue: single producer (the owning
+    /// worker), multiple consumers (the owner and any thief). FIFO at
+    /// the *head* for everyone — unlike a classic Chase–Lev deque, the
+    /// owner does not LIFO-pop its own tail, because a task that yielded
+    /// must go behind its siblings or the yield budget would not be fair.
+    ///
+    /// Capacity is a power of two strictly greater than the task count,
+    /// so `tail - head <= mask` always holds and a push can never lap an
+    /// unconsumed slot.
+    struct RunQueue {
+        head: AtomicU64,
+        tail: AtomicU64,
+        mask: u64,
+        slots: Box<[AtomicU32]>,
+    }
+
+    impl RunQueue {
+        fn new(min_capacity: usize) -> Self {
+            let cap = min_capacity.next_power_of_two().max(2);
+            RunQueue {
+                head: AtomicU64::new(0),
+                tail: AtomicU64::new(0),
+                mask: cap as u64 - 1,
+                slots: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+            }
+        }
+
+        /// Owner-only push at the tail. Every push site in this module
+        /// runs on the queue's own worker thread, which is what makes the
+        /// plain tail load sound. The `Release` store publishes both the
+        /// slot value and everything the pusher did before (the task's
+        /// saved context) to whoever pops it.
+        fn push(&self, tid: u32) {
+            let t = self.tail.load(Ordering::Relaxed);
+            debug_assert!(
+                t.wrapping_sub(self.head.load(Ordering::Relaxed)) <= self.mask,
+                "run queue lapped: capacity must exceed the task count"
+            );
+            self.slots[(t & self.mask) as usize].store(tid, Ordering::Relaxed);
+            self.tail.store(t.wrapping_add(1), Ordering::Release);
+        }
+
+        /// Pop at the head; owner and thieves share this path. The head
+        /// CAS both claims the slot and (on the thief side) acquires the
+        /// pusher's release edge. A slot cannot be overwritten between
+        /// the value read and a *successful* CAS: overwriting slot
+        /// `h & mask` requires `tail - head == capacity`, which the
+        /// capacity invariant rules out.
+        fn pop(&self) -> Option<u32> {
+            let mut h = self.head.load(Ordering::Acquire);
+            loop {
+                let t = self.tail.load(Ordering::Acquire);
+                if h == t {
+                    return None;
+                }
+                let v = self.slots[(h & self.mask) as usize].load(Ordering::Relaxed);
+                match self.head.compare_exchange_weak(
+                    h,
+                    h.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Some(v),
+                    Err(nh) => h = nh,
+                }
+            }
+        }
+
+        /// Approximate occupancy (telemetry only).
+        fn len(&self) -> u64 {
+            let t = self.tail.load(Ordering::Relaxed);
+            let h = self.head.load(Ordering::Relaxed);
+            t.wrapping_sub(h).min(self.mask + 1)
         }
     }
 
@@ -191,19 +306,43 @@ mod imp {
         wakes_local: Arc<Counter>,
         wakes_remote: Arc<Counter>,
         timeouts: Arc<Counter>,
+        steal_attempts: Arc<Counter>,
+        steal_hits: Arc<Counter>,
+        preemptions: Arc<Counter>,
+        busy_nanos: Arc<Counter>,
+        idle_nanos: Arc<Counter>,
+        runq_depth: Arc<Histogram>,
     }
 
     /// The per-world scheduler: tasks, workers, stacks.
     pub(crate) struct TaskSched {
         /// Distinguishes schedulers when worlds nest (TLS sanity checks).
         id: u64,
+        /// Reference point for `Task::deadline_ns`.
+        epoch: Instant,
         tasks: Vec<Task>,
         workers: Vec<WorkerShared>,
-        /// Ranks per worker: rank r is owned by worker r / chunk.
+        /// One run queue per worker; worker `w` owns (pushes) `runqs[w]`.
+        runqs: Vec<RunQueue>,
+        /// Ranks per worker: rank r's *home* worker is r / chunk. With
+        /// stealing off this is also where it always runs.
         chunk: usize,
+        /// Work stealing between workers (resolved per world).
+        steal: bool,
+        /// `maybe_yield` calls between preemptions; 0 = never preempt.
+        yield_budget: u32,
         /// How often an *idle* worker rescans its blocked tasks for
         /// expired receive deadlines.
         watchdog_period: Duration,
+        /// Tasks not yet `DONE`; workers exit when this hits zero.
+        live: AtomicUsize,
+        /// Tasks that are `READY` (queued or executing) or mid-switch.
+        /// The watchdog may declare timeouts only at zero — see module
+        /// docs (quiescence-gated watchdog).
+        runnable: AtomicUsize,
+        /// Workers currently parked; wakers only hunt for a sleeper to
+        /// notify (steal mode) when this is nonzero.
+        idle_workers: AtomicUsize,
         metrics: SchedMetrics,
         /// Keeps the stacks alive; dropped (deallocated) with the sched.
         _slabs: Vec<StackSlab>,
@@ -211,18 +350,22 @@ mod imp {
 
     // ----- worker-thread TLS ---------------------------------------------
 
-    /// Home-worker-private state, reachable from task context via TLS so
-    /// a task blocking itself (or waking a sibling on the same worker)
+    /// Worker-private state, reachable from task context via TLS so a
+    /// task blocking itself (or waking a sibling on the same worker)
     /// touches no locks.
     struct WorkerCtl {
         sched_id: u64,
         index: usize,
+        /// Copy of the scheduler epoch (deadline encoding).
+        epoch: Instant,
+        /// Copy of the scheduler yield budget (`maybe_yield` fast path).
+        yield_budget: u32,
         /// The worker loop's saved context while a task runs.
         sched_sp: Cell<*mut u8>,
-        /// Local run queue. Never borrowed across a context switch.
-        local: RefCell<VecDeque<u32>>,
         /// Why the last task switch returned to the worker.
         reason: Cell<Reason>,
+        /// xorshift state for randomized victim selection.
+        rng: Cell<u64>,
     }
 
     thread_local! {
@@ -247,27 +390,34 @@ mod imp {
 
     impl CurrentTask {
         fn task(&self) -> &Task {
-            // SAFETY: the pointer came from CURRENT, which the home worker
+            // SAFETY: the pointer came from CURRENT, which the worker
             // sets for exactly the duration of this task's execution, and
             // `CurrentTask` is neither Send nor returned across switches.
             unsafe { &*self.task }
         }
 
-        /// Mark the task as blocked. Must be called while holding the
-        /// mailbox shard lock on which the wake-hint was registered: the
-        /// lock orders this store against the waker's read of the hint,
-        /// so a sender that saw the hint always succeeds its wake CAS.
+        /// Announce that the task is about to block (phase one of the
+        /// two-phase block). Must be called while holding the mailbox
+        /// shard lock on which the wake-hint was registered: the lock
+        /// orders this store against the waker's read of the hint, so a
+        /// sender that saw the hint always finds `BLOCKING` or `BLOCKED`.
         pub(crate) fn prepare_block(&self) {
-            self.task().state.store(BLOCKED, Ordering::Release);
+            self.task().state.store(BLOCKING, Ordering::Release);
         }
 
-        /// Switch to the scheduler until woken. Call after
+        /// Switch to the scheduler until woken (phase two). Call after
         /// [`CurrentTask::prepare_block`], with no locks held.
         pub(crate) fn block(&self, deadline: Instant) {
             let t = self.task();
-            t.deadline.set(Some(deadline));
+            let ctl = WORKER.with(|w| w.get());
+            debug_assert!(!ctl.is_null());
+            // SAFETY: installed by this thread's worker loop; outlives
+            // every task switch on this thread.
+            let epoch = unsafe { (*ctl).epoch };
+            let rel = deadline.saturating_duration_since(epoch).as_nanos() as u64;
+            t.deadline_ns.store(rel.max(1), Ordering::Release);
             switch_to_worker(Reason::Blocked);
-            t.deadline.set(None);
+            t.deadline_ns.store(0, Ordering::Release);
         }
 
         /// Whether the last wake came from the deadline watchdog rather
@@ -284,11 +434,41 @@ mod imp {
         debug_assert!(!ctl.is_null() && !task.is_null());
         // SAFETY: both pointers are installed by this thread's worker
         // loop and outlive the task; the switch returns here only when
-        // the home worker resumes this exact context.
+        // a worker (possibly a different one, under stealing) resumes
+        // this exact saved context.
         unsafe {
             (*ctl).reason.set(reason);
             hcft_simmpi_ctx_switch((*task).sp.as_ptr(), (*ctl).sched_sp.get());
         }
+    }
+
+    /// Cooperative preemption check; the body of
+    /// [`crate::runtime::maybe_yield`]. Kept branch-cheap: one TLS read
+    /// when no budget is configured.
+    #[inline]
+    pub(crate) fn maybe_yield_task() {
+        let ctl = WORKER.with(|w| w.get());
+        if ctl.is_null() {
+            return;
+        }
+        // SAFETY: installed by this thread's worker loop.
+        let budget = unsafe { (*ctl).yield_budget };
+        if budget == 0 {
+            return;
+        }
+        let task = CURRENT.with(|c| c.get());
+        if task.is_null() {
+            return;
+        }
+        // SAFETY: set by the worker for the duration of this task's run.
+        let t = unsafe { &*task };
+        let left = t.yield_left.get();
+        if left > 1 {
+            t.yield_left.set(left - 1);
+            return;
+        }
+        t.yield_left.set(budget);
+        switch_to_worker(Reason::Yielded);
     }
 
     /// First-run entry for every task, reached from the trampoline with
@@ -320,6 +500,8 @@ mod imp {
             workers: usize,
             stack_size: usize,
             watchdog_period: Duration,
+            steal: bool,
+            yield_budget: u32,
             bodies: Vec<Box<dyn FnOnce() + Send>>,
         ) -> Arc<Self> {
             static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -328,7 +510,8 @@ mod imp {
             let workers = workers.min(n);
             // Align the stack span so every stack top is 16-aligned, and
             // keep enough headroom below the deepest frame for the panic
-            // machinery the deadlock watchdog relies on.
+            // machinery the deadlock watchdog relies on. (The runtime
+            // validates the configured size; this clamp is the backstop.)
             let stack_size = stack_size.clamp(64 * 1024, 1 << 30) & !4095;
             let reg = Registry::global();
             let mut tasks: Vec<Task> = Vec::with_capacity(n);
@@ -354,8 +537,9 @@ mod imp {
                         state: AtomicU8::new(READY),
                         sp: Cell::new(std::ptr::null_mut()),
                         stack_lo: lo,
-                        deadline: Cell::new(None),
+                        deadline_ns: AtomicU64::new(0),
                         timed_out: Cell::new(false),
+                        yield_left: Cell::new(yield_budget),
                         body: UnsafeCell::new(None),
                     });
                 }
@@ -386,6 +570,7 @@ mod imp {
             let chunk = n.div_ceil(workers);
             Arc::new(TaskSched {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
                 tasks,
                 workers: (0..workers)
                     .map(|_| WorkerShared {
@@ -394,13 +579,27 @@ mod imp {
                         sleeping: Cell::new(false),
                     })
                     .collect(),
+                // Capacity must strictly exceed n: in the worst case every
+                // task lands on one queue (see RunQueue docs).
+                runqs: (0..workers).map(|_| RunQueue::new(n + 1)).collect(),
                 chunk,
+                steal,
+                yield_budget,
                 watchdog_period,
+                live: AtomicUsize::new(n),
+                runnable: AtomicUsize::new(n),
+                idle_workers: AtomicUsize::new(0),
                 metrics: SchedMetrics {
                     resumes: reg.counter("simmpi.sched.resumes"),
                     wakes_local: reg.counter("simmpi.sched.wakes_local"),
                     wakes_remote: reg.counter("simmpi.sched.wakes_remote"),
                     timeouts: reg.counter("simmpi.sched.timeouts"),
+                    steal_attempts: reg.counter("simmpi.sched.steal_attempts"),
+                    steal_hits: reg.counter("simmpi.sched.steal_hits"),
+                    preemptions: reg.counter("simmpi.sched.preemptions"),
+                    busy_nanos: reg.counter("simmpi.sched.busy_nanos"),
+                    idle_nanos: reg.counter("simmpi.sched.idle_nanos"),
+                    runq_depth: reg.histogram("simmpi.sched.runq_depth"),
                 },
                 _slabs: slabs,
             })
@@ -413,31 +612,68 @@ mod imp {
         /// harmless no-op.
         pub(crate) fn wake(&self, tid: u32) {
             let t = &self.tasks[tid as usize];
-            if t.state
-                .compare_exchange(BLOCKED, READY, Ordering::AcqRel, Ordering::Relaxed)
-                .is_err()
-            {
-                return;
-            }
-            let home = tid as usize / self.chunk;
-            // Same-worker fast path: a task waking its neighbour pushes
-            // straight onto the home worker's local queue — no lock, no
-            // condvar. This is the common case under block ownership
-            // (stencil neighbours share a worker).
-            let local = WORKER.with(|w| {
-                let ctl = w.get();
-                if !ctl.is_null() {
-                    // SAFETY: installed by this thread's worker loop.
-                    let ctl = unsafe { &*ctl };
-                    if ctl.sched_id == self.id && ctl.index == home {
-                        ctl.local.borrow_mut().push_back(tid);
-                        return true;
+            let mut state = t.state.load(Ordering::Relaxed);
+            loop {
+                match state {
+                    BLOCKED => {
+                        match t.state.compare_exchange_weak(
+                            BLOCKED,
+                            READY,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break, // we own the wake; enqueue below
+                            Err(s) => state = s,
+                        }
                     }
+                    BLOCKING => {
+                        // Mid-switch: the context save may be incomplete.
+                        // Hand the wake debt to the switching worker.
+                        match t.state.compare_exchange_weak(
+                            BLOCKING,
+                            WOKEN,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => return,
+                            Err(s) => state = s,
+                        }
+                    }
+                    // READY / WOKEN: someone else owns the wake. DONE:
+                    // nothing to wake.
+                    _ => return,
+                }
+            }
+            self.runnable.fetch_add(1, Ordering::AcqRel);
+            let home = tid as usize / self.chunk;
+            // Same-worker fast path: a task waking a sibling pushes
+            // straight onto this worker's own run queue — no lock, no
+            // condvar. With stealing on, *any* worker of this scheduler
+            // may do so (the task can run anywhere); with stealing off,
+            // only the home worker may (placement is part of the
+            // execution model there).
+            let pushed_local = WORKER.with(|w| {
+                let ctl = w.get();
+                if ctl.is_null() {
+                    return false;
+                }
+                // SAFETY: installed by this thread's worker loop.
+                let ctl = unsafe { &*ctl };
+                if ctl.sched_id != self.id {
+                    return false;
+                }
+                if self.steal || ctl.index == home {
+                    self.runqs[ctl.index].push(tid);
+                    return true;
                 }
                 false
             });
-            if local {
+            if pushed_local {
                 self.metrics.wakes_local.inc();
+                if self.steal {
+                    // An idle worker can steal the task we just queued.
+                    self.notify_sleeper();
+                }
                 return;
             }
             self.metrics.wakes_remote.inc();
@@ -448,6 +684,25 @@ mod imp {
             drop(inj);
             if sleeping {
                 ws.cv.notify_one();
+            } else if self.steal {
+                self.notify_sleeper();
+            }
+        }
+
+        /// Wake one parked worker, if any (steal mode: new work can be
+        /// taken by anyone, so a busy home worker must not strand it).
+        fn notify_sleeper(&self) {
+            if self.idle_workers.load(Ordering::Relaxed) == 0 {
+                return;
+            }
+            for ws in &self.workers {
+                let inj = ws.injector.lock();
+                let sleeping = ws.sleeping.get();
+                drop(inj);
+                if sleeping {
+                    ws.cv.notify_one();
+                    return;
+                }
             }
         }
 
@@ -481,119 +736,244 @@ mod imp {
             }
         }
 
-        /// One worker: resume runnable owned tasks until all are done.
+        /// One worker: run tasks until the whole world is done.
         fn worker_main(&self, index: usize) {
-            let lo = index * self.chunk;
+            let lo = (index * self.chunk).min(self.tasks.len());
             let hi = (lo + self.chunk).min(self.tasks.len());
             let ctl = WorkerCtl {
                 sched_id: self.id,
                 index,
+                epoch: self.epoch,
+                yield_budget: self.yield_budget,
                 sched_sp: Cell::new(std::ptr::null_mut()),
-                local: RefCell::new((lo as u32..hi as u32).collect()),
                 reason: Cell::new(Reason::Blocked),
+                // Deterministic per-worker seed: victim order must not
+                // depend on wall clock (and does not affect results
+                // anyway, only steal locality).
+                rng: Cell::new(
+                    (self.id << 32) ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
             };
             WORKER.with(|w| w.set(&ctl as *const WorkerCtl));
-            let mut live = hi - lo;
-            // Busy workers still owe their blocked tasks a deadline scan
-            // now and then; checking the clock every switch would be pure
-            // overhead, so amortise it over batches of switches.
-            let mut next_scan = Instant::now() + self.watchdog_period;
-            let mut switches = 0u32;
-            while live > 0 {
-                let tid = ctl.local.borrow_mut().pop_front();
+            let runq = &self.runqs[index];
+            for tid in lo..hi {
+                runq.push(tid as u32);
+            }
+            let started = Instant::now();
+            let mut idle = Duration::ZERO;
+            while self.live.load(Ordering::Acquire) > 0 {
+                let mut tid = runq.pop();
+                if tid.is_none() {
+                    tid = self.drain_injector(index);
+                }
+                if tid.is_none() && self.steal {
+                    tid = self.steal_task(&ctl);
+                }
                 match tid {
-                    Some(tid) => {
-                        let t = &self.tasks[tid as usize];
-                        self.metrics.resumes.inc();
-                        CURRENT.with(|c| c.set(t as *const Task));
-                        // SAFETY: t.sp holds a context previously saved on
-                        // (or planted in) this task's stack, and only this
-                        // worker resumes it.
-                        unsafe { hcft_simmpi_ctx_switch(ctl.sched_sp.as_ptr(), t.sp.get()) };
-                        CURRENT.with(|c| c.set(std::ptr::null()));
-                        // SAFETY: stack_lo points at this task's canary.
-                        let canary = unsafe { (t.stack_lo as *const u64).read() };
-                        assert!(
-                            canary == STACK_CANARY,
-                            "simmpi task stack overflow (rank {tid}): raise WorldConfig.stack_size"
-                        );
-                        if ctl.reason.get() == Reason::Done {
-                            t.state.store(DONE, Ordering::Release);
-                            live -= 1;
-                        }
-                        switches += 1;
-                        if switches >= 1024 {
-                            switches = 0;
-                            let now = Instant::now();
-                            if now >= next_scan {
-                                next_scan = now + self.watchdog_period;
-                                self.expire_deadlines(&ctl, lo, hi, now);
-                            }
-                        }
-                    }
-                    None => {
-                        let ws = &self.workers[index];
-                        let mut inj = ws.injector.lock();
-                        loop {
-                            if !inj.is_empty() {
-                                ctl.local.borrow_mut().extend(inj.drain(..));
-                                break;
-                            }
-                            drop(inj);
-                            let now = Instant::now();
-                            if self.expire_deadlines(&ctl, lo, hi, now) > 0 {
-                                next_scan = now + self.watchdog_period;
-                                inj = ws.injector.lock();
-                                if !inj.is_empty() {
-                                    ctl.local.borrow_mut().extend(inj.drain(..));
-                                }
-                                break;
-                            }
-                            inj = ws.injector.lock();
-                            if !inj.is_empty() {
-                                continue;
-                            }
-                            ws.sleeping.set(true);
-                            let _ = ws
-                                .cv
-                                .wait_until(&mut inj, Instant::now() + self.watchdog_period);
-                            ws.sleeping.set(false);
-                        }
-                    }
+                    Some(tid) => self.run_one(&ctl, tid),
+                    None => idle += self.idle_wait(index, lo, hi),
                 }
             }
             WORKER.with(|w| w.set(std::ptr::null()));
+            let total = started.elapsed();
+            let busy = total.saturating_sub(idle);
+            self.metrics.busy_nanos.add(busy.as_nanos() as u64);
+            self.metrics.idle_nanos.add(idle.as_nanos() as u64);
+            let reg = Registry::global();
+            reg.gauge(&format!("simmpi.sched.worker.{index}.busy_nanos"))
+                .set(busy.as_nanos() as f64);
+            reg.gauge(&format!("simmpi.sched.worker.{index}.idle_nanos"))
+                .set(idle.as_nanos() as f64);
+        }
+
+        /// Resume one task and settle its post-switch state.
+        fn run_one(&self, ctl: &WorkerCtl, tid: u32) {
+            let t = &self.tasks[tid as usize];
+            self.metrics.resumes.inc();
+            CURRENT.with(|c| c.set(t as *const Task));
+            // SAFETY: t.sp holds a context previously saved on (or
+            // planted in) this task's stack. Popping the task from a run
+            // queue (or injector) made this worker its unique holder, and
+            // the pop's acquire edge makes the save visible.
+            unsafe { hcft_simmpi_ctx_switch(ctl.sched_sp.as_ptr(), t.sp.get()) };
+            CURRENT.with(|c| c.set(std::ptr::null()));
+            // SAFETY: stack_lo points at this task's canary.
+            let canary = unsafe { (t.stack_lo as *const u64).read() };
+            assert!(
+                canary == STACK_CANARY,
+                "simmpi task stack overflow (rank {tid}): raise WorldConfig.stack_size \
+                 or HCFT_SIMMPI_STACK_KB"
+            );
+            match ctl.reason.get() {
+                Reason::Done => {
+                    t.state.store(DONE, Ordering::Release);
+                    self.runnable.fetch_sub(1, Ordering::AcqRel);
+                    if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last task in the world: release every parked
+                        // worker so the pool can exit.
+                        for ws in &self.workers {
+                            let _inj = ws.injector.lock();
+                            ws.cv.notify_all();
+                        }
+                    }
+                }
+                Reason::Blocked => {
+                    // Phase two of the block: publish the saved context.
+                    if t.state
+                        .compare_exchange(BLOCKING, BLOCKED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.runnable.fetch_sub(1, Ordering::AcqRel);
+                    } else {
+                        // A waker caught the task at BLOCKING (now WOKEN).
+                        // The save is complete, so pay the wake debt here:
+                        // the task never counted out of `runnable`.
+                        t.state.store(READY, Ordering::Release);
+                        self.runqs[ctl.index].push(tid);
+                        if self.steal {
+                            self.notify_sleeper();
+                        }
+                    }
+                }
+                Reason::Yielded => {
+                    // Still READY; goes behind its queue siblings, which
+                    // is the whole point of the yield budget.
+                    self.metrics.preemptions.inc();
+                    self.runqs[ctl.index].push(tid);
+                }
+            }
+        }
+
+        /// Move injected wakes onto this worker's run queue; returns the
+        /// first, if any.
+        fn drain_injector(&self, index: usize) -> Option<u32> {
+            let ws = &self.workers[index];
+            let mut inj = ws.injector.lock();
+            if inj.is_empty() {
+                return None;
+            }
+            let runq = &self.runqs[index];
+            let mut drained = inj.drain(..);
+            let first = drained.next();
+            for tid in drained {
+                runq.push(tid);
+            }
+            drop(inj);
+            self.metrics.runq_depth.observe(runq.len());
+            first
+        }
+
+        /// Take one runnable task from another worker: run queues first
+        /// (lock-free), then parked injector wakes whose home worker is
+        /// too busy to drain them. Victim order is randomized per attempt
+        /// so a hot worker is not mobbed from the same side every time.
+        fn steal_task(&self, ctl: &WorkerCtl) -> Option<u32> {
+            let n = self.workers.len();
+            if n <= 1 {
+                return None;
+            }
+            self.metrics.steal_attempts.inc();
+            let mut s = ctl.rng.get();
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ctl.rng.set(s);
+            let start = (s % n as u64) as usize;
+            for i in 0..n {
+                let v = (start + i) % n;
+                if v == ctl.index {
+                    continue;
+                }
+                if let Some(tid) = self.runqs[v].pop() {
+                    self.metrics.steal_hits.inc();
+                    self.metrics.runq_depth.observe(self.runqs[v].len());
+                    return Some(tid);
+                }
+            }
+            for i in 0..n {
+                let v = (start + i) % n;
+                if v == ctl.index {
+                    continue;
+                }
+                let mut inj = self.workers[v].injector.lock();
+                if let Some(tid) = inj.pop() {
+                    self.metrics.steal_hits.inc();
+                    return Some(tid);
+                }
+            }
+            None
+        }
+
+        /// Nothing runnable here: scan for expired deadlines, then park
+        /// on the injector condvar for up to one watchdog period. Returns
+        /// the time spent (idle-nanos accounting).
+        fn idle_wait(&self, index: usize, lo: usize, hi: usize) -> Duration {
+            let start = Instant::now();
+            self.metrics.runq_depth.observe(0);
+            let ws = &self.workers[index];
+            if self.expire_deadlines(index, lo, hi, Instant::now()) > 0 {
+                return start.elapsed();
+            }
+            let mut inj = ws.injector.lock();
+            // Re-check liveness under the lock: the finishing worker
+            // decrements `live` *before* taking this lock to notify, so a
+            // `> 0` read here guarantees its notify is still to come.
+            if inj.is_empty() && self.live.load(Ordering::Acquire) > 0 {
+                ws.sleeping.set(true);
+                self.idle_workers.fetch_add(1, Ordering::SeqCst);
+                let _ = ws
+                    .cv
+                    .wait_until(&mut inj, Instant::now() + self.watchdog_period);
+                self.idle_workers.fetch_sub(1, Ordering::SeqCst);
+                ws.sleeping.set(false);
+            }
+            start.elapsed()
         }
 
         /// Wake owned tasks whose receive deadline has passed, marking
-        /// them timed out first so they resume on the deadlock path. Only
-        /// the home worker calls this for its own range, so the deadline
-        /// cells are safe to read.
-        fn expire_deadlines(&self, ctl: &WorkerCtl, lo: usize, hi: usize, now: Instant) -> usize {
+        /// them timed out so they resume on the deadlock path.
+        ///
+        /// Gated on global quiescence: with any task `READY` somewhere, a
+        /// message that satisfies a lapsed deadline may still be coming
+        /// (every sender is itself a running task), so firing would be a
+        /// false positive — the long-computing-rank bug this gate fixes.
+        /// Conversely `runnable == 0` with an expired deadline is a true
+        /// deadlock. Each worker scans only its home range; in a
+        /// quiescent world every worker is idle, so all ranges get
+        /// scanned.
+        fn expire_deadlines(&self, index: usize, lo: usize, hi: usize, now: Instant) -> usize {
+            if self.runnable.load(Ordering::Acquire) > 0 {
+                return 0;
+            }
+            let now_ns = now.saturating_duration_since(self.epoch).as_nanos() as u64;
             let mut woken = 0;
             for tid in lo..hi {
                 let t = &self.tasks[tid];
                 if t.state.load(Ordering::Acquire) != BLOCKED {
                     continue;
                 }
-                let Some(deadline) = t.deadline.get() else {
-                    continue;
-                };
-                if now < deadline {
+                let d = t.deadline_ns.load(Ordering::Acquire);
+                if d == 0 || now_ns < d {
                     continue;
                 }
                 if t.state
                     .compare_exchange(BLOCKED, READY, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
+                    .is_err()
                 {
-                    // Flag before queueing: this worker is the only one
-                    // that pops its local queue, so the task cannot run
-                    // before the flag is visible.
+                    continue;
+                }
+                self.runnable.fetch_add(1, Ordering::AcqRel);
+                // Re-read now that the CAS made us the task's holder:
+                // between the first read and the CAS the task may have
+                // been woken, run elsewhere and re-blocked with a fresh
+                // deadline — that is a spurious wake, not a timeout.
+                let d = t.deadline_ns.load(Ordering::Acquire);
+                if d != 0 && now_ns >= d {
                     t.timed_out.set(true);
                     self.metrics.timeouts.inc();
-                    ctl.local.borrow_mut().push_back(tid as u32);
-                    woken += 1;
                 }
+                self.runqs[index].push(tid as u32);
+                woken += 1;
             }
             woken
         }
@@ -616,6 +996,9 @@ mod stub {
         None
     }
 
+    #[inline]
+    pub(crate) fn maybe_yield_task() {}
+
     impl CurrentTask {
         pub(crate) fn prepare_block(&self) {}
         pub(crate) fn block(&self, _deadline: Instant) {}
@@ -629,6 +1012,8 @@ mod stub {
             _workers: usize,
             _stack_size: usize,
             _watchdog_period: Duration,
+            _steal: bool,
+            _yield_budget: u32,
             _bodies: Vec<Box<dyn FnOnce() + Send>>,
         ) -> Arc<Self> {
             unreachable!("task engine unsupported on this target")

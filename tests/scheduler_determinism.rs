@@ -12,6 +12,11 @@
 //!   f64 sums, whose bit pattern depends on reduction order) are
 //!   byte-identical across the same axis, because the collective
 //!   algorithms fix the combining order independently of scheduling.
+//!
+//! The axis now also sweeps the preemption/stealing knobs: work
+//! stealing moves only *where* a rank runs, and the yield budget only
+//! *when* it cedes the worker — neither may perturb a single traced
+//! byte.
 
 use hcft::core::experiment::{run_traced_job, TraceResult, TracedJobConfig};
 use hcft::simmpi::{Engine, World, WorldConfig};
@@ -43,21 +48,33 @@ fn trace_csv(t: &TraceResult) -> String {
 
 #[test]
 fn traced_csvs_identical_across_workers_and_engines() {
-    let job = |workers: usize, engine: Engine| {
+    let job = |workers: usize, engine: Engine, steal: bool, budget: u32| {
         let mut cfg = TracedJobConfig::small(4, 2);
         cfg.workers = workers;
         cfg.engine = engine;
+        cfg.steal = Some(steal);
+        cfg.yield_budget = Some(budget);
         run_traced_job(&cfg)
     };
-    let reference = trace_csv(&job(1, Engine::Tasks));
+    let reference = trace_csv(&job(1, Engine::Tasks, false, 0));
     assert!(reference.lines().count() > 2, "reference trace is empty");
     for workers in worker_counts() {
-        let csv = trace_csv(&job(workers, Engine::Tasks));
-        assert_eq!(csv, reference, "traced CSV diverged at {workers} worker(s)");
+        for steal in [false, true] {
+            // Budget 0 disables preemption; 7 forces frequent mid-tile
+            // yields (the stencil calls `maybe_yield` once per tile).
+            for budget in [0u32, 7] {
+                let csv = trace_csv(&job(workers, Engine::Tasks, steal, budget));
+                assert_eq!(
+                    csv, reference,
+                    "traced CSV diverged at {workers} worker(s), \
+                     steal={steal}, yield_budget={budget}"
+                );
+            }
+        }
     }
     // The thread engine (one OS thread per rank, no cooperative
     // scheduling at all) must reproduce the same bytes.
-    let threads = trace_csv(&job(0, Engine::Threads));
+    let threads = trace_csv(&job(0, Engine::Threads, false, 0));
     assert_eq!(threads, reference, "thread engine diverged from tasks");
 }
 

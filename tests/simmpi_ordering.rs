@@ -16,6 +16,8 @@
 //! worker counts 1 (pure cooperative round-robin), 2 (cross-worker wakes
 //! on every remote channel) and the core count (the default), so a FIFO
 //! break introduced by the M:N scheduler's wake path cannot hide either.
+//! A third sweep repeats the worker axis with work stealing on, where a
+//! blocked rank may resume on a different worker than it blocked on.
 
 use hcft::simmpi::{World, WorldConfig};
 use proptest::prelude::*;
@@ -51,13 +53,14 @@ fn worker_counts() -> Vec<usize> {
     counts
 }
 
-/// Run one schedule at a given shard and worker count and assert
-/// per-channel FIFO.
-fn run_schedule(s: &Schedule, shards: usize, workers: usize) {
+/// Run one schedule at a given shard, worker and steal setting and
+/// assert per-channel FIFO.
+fn run_schedule(s: &Schedule, shards: usize, workers: usize, steal: bool) {
     let channels = s.channels.clone();
     let cfg = WorldConfig {
         mailbox_shards: shards,
         workers,
+        steal: Some(steal),
         ..WorldConfig::default()
     };
     let result = World::run_with(s.ranks, cfg, move |comm| {
@@ -119,14 +122,27 @@ proptest! {
     #[test]
     fn fifo_per_channel_survives_sharding(s in arb_schedule()) {
         for shards in [1usize, 2, 8] {
-            run_schedule(&s, shards, 0);
+            run_schedule(&s, shards, 0, false);
         }
     }
 
     #[test]
     fn fifo_per_channel_survives_worker_counts(s in arb_schedule()) {
         for workers in worker_counts() {
-            run_schedule(&s, 0, workers);
+            run_schedule(&s, 0, workers, false);
+        }
+    }
+
+    /// Work stealing migrates blocked ranks between workers mid-run; the
+    /// non-overtaking rule must hold anyway, at 1 worker (stealing is a
+    /// no-op), 2 (one potential thief) and 8 (every wake can race a
+    /// steal).
+    #[test]
+    fn fifo_per_channel_survives_work_stealing(s in arb_schedule()) {
+        for workers in [1usize, 2, 8] {
+            for steal in [false, true] {
+                run_schedule(&s, 0, workers, steal);
+            }
         }
     }
 }
@@ -140,12 +156,21 @@ proptest! {
 fn all_to_one_flood_is_fifo() {
     const N: usize = 8;
     const MSGS: u64 = 50;
-    for (shards, workers) in [(1usize, 0usize), (2, 0), (8, 0), (0, 1), (0, 2)] {
+    for (shards, workers, steal) in [
+        (1usize, 0usize, false),
+        (2, 0, false),
+        (8, 0, false),
+        (0, 1, false),
+        (0, 2, false),
+        (0, 2, true),
+        (0, 8, true),
+    ] {
         let result = World::run_with(
             N,
             WorldConfig {
                 mailbox_shards: shards,
                 workers,
+                steal: Some(steal),
                 ..WorldConfig::default()
             },
             |comm| {
