@@ -21,9 +21,28 @@
 //! hierarchical scheme in `table2`, `fig5c` and `scaling` (default
 //! `multilevel`, the paper configuration), so engine sweeps can compare
 //! the two from the CLI.
+//!
+//! ## `repro serve`
+//!
+//! ```text
+//! repro serve [--addr HOST:PORT] [--http-threads N]
+//!             [--trace-cap N] [--memo-cap N]
+//! ```
+//!
+//! boots the always-on evaluation service (default `127.0.0.1:7733`)
+//! and serves ranked scheme comparisons until killed:
+//!
+//! ```text
+//! curl 'http://127.0.0.1:7733/evaluate?nodes=64&ppn=16&families=table2'
+//! ```
+//!
+//! Routes: `/healthz`, `/evaluate`, `/cache`, `/metrics`. `--trace-cap`
+//! bounds the traced-matrix LRU cache (default 8 traces), `--memo-cap`
+//! the rendered-response memo (default 64 bodies). See DESIGN.md §19.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use hcft_bench::figures;
 use hcft_bench::harness::{Artifact, Scale};
@@ -55,10 +74,54 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--scale paper|small] [--out DIR] [--telemetry PATH]\n\
          \x20            [--partition-engine multilevel|modularity] <artifact>...\n\
+         \x20      repro serve [--addr HOST:PORT] [--http-threads N]\n\
+         \x20            [--trace-cap N] [--memo-cap N]\n\
          artifacts: {} all",
         ALL.join(" ")
     );
     ExitCode::FAILURE
+}
+
+/// `repro serve`: run the always-on evaluation service until killed.
+fn serve_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = "127.0.0.1:7733".to_string();
+    let mut threads = 4usize;
+    let mut trace_cap = 8usize;
+    let mut memo_cap = 64usize;
+    while let Some(arg) = args.next() {
+        let Some(v) = args.next() else {
+            return usage();
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => {
+                addr = v;
+                continue;
+            }
+            "--http-threads" => v.parse().map(|n| threads = n),
+            "--trace-cap" => v.parse().map(|n| trace_cap = n),
+            "--memo-cap" => v.parse().map(|n| memo_cap = n),
+            _ => return usage(),
+        };
+        if parsed.is_err() {
+            return usage();
+        }
+    }
+    let svc = Arc::new(hcft_service::EvalService::new(trace_cap, memo_cap));
+    match hcft_service::serve(addr.as_str(), svc, threads) {
+        Ok(server) => {
+            let local = server.local_addr();
+            println!("serving on http://{local} ({threads} http threads, trace cap {trace_cap}, memo cap {memo_cap})");
+            println!("try: curl 'http://{local}/evaluate?nodes=64&ppn=16&families=table2'");
+            // Always-on: park until the process is killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -68,6 +131,9 @@ fn main() -> ExitCode {
     let mut telemetry_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return serve_main(std::env::args().skip(2));
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {

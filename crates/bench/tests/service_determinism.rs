@@ -1,0 +1,45 @@
+//! The evaluation service must serve byte-identical responses at any
+//! rayon thread count — the family fan-out is an order-preserving fold,
+//! so parallelism is a latency knob, never a semantic one.
+//!
+//! The compat rayon pool latches `RAYON_NUM_THREADS` once per process,
+//! so each thread count runs as a separate `bench_service --probe`
+//! subprocess (Cargo exports the binary path as
+//! `CARGO_BIN_EXE_bench_service`); the probe evaluates one request
+//! in-process and prints the response body to stdout.
+
+use std::process::Command;
+
+fn probe(query: &str, threads: &str) -> String {
+    let exe = env!("CARGO_BIN_EXE_bench_service");
+    let out = Command::new(exe)
+        .args(["--probe", query])
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("spawn bench_service --probe");
+    assert!(
+        out.status.success(),
+        "probe {query:?} failed with {threads} thread(s): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("probe output is UTF-8")
+}
+
+#[test]
+fn responses_are_byte_identical_across_thread_counts() {
+    for query in [
+        "nodes=8&ppn=4&families=table2",
+        "nodes=8&ppn=4&families=full",
+    ] {
+        let serial = probe(query, "1");
+        let parallel = probe(query, "4");
+        assert!(
+            serial.contains("\"ranking\": ["),
+            "probe output is not a ranked response: {serial}"
+        );
+        assert_eq!(
+            serial, parallel,
+            "{query} response differs between RAYON_NUM_THREADS=1 and =4"
+        );
+    }
+}

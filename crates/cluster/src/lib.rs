@@ -36,5 +36,5 @@ pub use strategies::{
 };
 pub use strategy::{
     registry, registry_with, ClusteringStrategy, Distributed, Hierarchical, Naive, SizeGuided,
-    StrategyContext,
+    StrategyContext, Striped,
 };

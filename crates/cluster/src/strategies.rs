@@ -208,7 +208,7 @@ impl PartitionEngine {
 }
 
 /// Configuration of the hierarchical strategy (§IV-B).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HierarchicalConfig {
     /// Minimum nodes per L1 cluster (paper: 4, so erasure distribution is
     /// possible inside every L1 cluster).

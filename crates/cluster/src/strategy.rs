@@ -160,6 +160,50 @@ impl ClusteringStrategy for Hierarchical {
     }
 }
 
+/// The PR 7 striped clustering: L1 = consecutive node blocks, L2 groups
+/// striding across L1 clusters so a whole-L1 loss stays survivable.
+#[derive(Clone, Copy, Debug)]
+pub struct Striped {
+    /// Nodes per L1 cluster (must divide the node count).
+    pub l1_nodes: usize,
+    /// Ranks per L2 encoding group (must divide the rank count).
+    pub l2_size: usize,
+}
+
+impl ClusteringStrategy for Striped {
+    fn name(&self) -> &str {
+        "striped"
+    }
+
+    fn build(&self, ctx: &StrategyContext<'_>) -> Result<ClusteringScheme, HcftError> {
+        let nodes = ctx.placement.nodes();
+        let nprocs = ctx.placement.nprocs();
+        if self.l1_nodes == 0 || !nodes.is_multiple_of(self.l1_nodes) {
+            return Err(HcftError::Partition(format!(
+                "striped L1 block of {} nodes must divide {nodes} nodes",
+                self.l1_nodes
+            )));
+        }
+        if self.l2_size < 2 || !nprocs.is_multiple_of(self.l2_size) {
+            return Err(HcftError::Partition(format!(
+                "striped L2 group of {} ranks needs 2..= and must divide {nprocs} ranks",
+                self.l2_size
+            )));
+        }
+        let ppn = ctx.placement.ranks_on(NodeId(0)).len();
+        if !(0..nodes).all(|n| ctx.placement.ranks_on(NodeId::from(n)).len() == ppn) {
+            return Err(HcftError::Partition(
+                "striped clustering needs a uniform ranks-per-node layout".into(),
+            ));
+        }
+        Ok(strategies::striped(
+            ctx.placement,
+            self.l1_nodes,
+            self.l2_size,
+        ))
+    }
+}
+
 /// The paper's four strategies at their Table II configurations:
 /// naive 32, size-guided 8, distributed 16, hierarchical with the
 /// default §IV-B sizing.

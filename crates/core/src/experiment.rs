@@ -16,7 +16,8 @@
 use std::sync::Arc;
 
 use hcft_cluster::{
-    registry_with, ClusteringScheme, Evaluator, FourDScore, HierarchicalConfig, StrategyContext,
+    registry_with, ClusteringScheme, ClusteringStrategy, Distributed, Evaluator, FourDScore,
+    Hierarchical, HierarchicalConfig, Naive, SizeGuided, StrategyContext, Striped,
 };
 use hcft_graph::{CommMatrix, WeightedGraph};
 use hcft_simmpi::{Engine, World, WorldConfig};
@@ -131,6 +132,121 @@ impl TracedJobConfig {
         } else {
             JobLayout::app_only(self.nodes, self.app_per_node)
         }
+    }
+
+    /// The canonical wire form of the *trace-affecting* configuration —
+    /// the serialization the cache key is derived from.
+    ///
+    /// Exactly the fields that change a single traced byte are included:
+    /// machine shape, iteration/checkpoint cadence, solver and process
+    /// grids, encoder grouping, event recording. Runtime knobs (mailbox
+    /// shards, workers, engine, steal, yield budget) are deliberately
+    /// **excluded**: the scheduler-determinism suite proves traces are
+    /// byte-identical across all of them, so two configs differing only
+    /// in runtime knobs share one cache entry. The `process_grid` is
+    /// emitted in resolved form, so `None` and an explicit grid that
+    /// happens to match resolve to the same key.
+    ///
+    /// The format is versioned (`hcft-trace-v1`); any change to the
+    /// traced protocol that alters bytes for an unchanged config must
+    /// bump it, invalidating every persisted key.
+    pub fn to_canonical(&self) -> String {
+        let (px, py) = self.process_grid();
+        format!(
+            "hcft-trace-v1;nodes={};ppn={};enc={};it={};ck={};gx={};gy={};\
+             px={px};py={py};eg={};ev={}",
+            self.nodes,
+            self.app_per_node,
+            u8::from(self.with_encoders),
+            self.iterations,
+            self.checkpoint_every,
+            self.grid.0,
+            self.grid.1,
+            self.encoder_group_nodes,
+            u8::from(self.record_events),
+        )
+    }
+
+    /// Parse a [`Self::to_canonical`] string back into a validated
+    /// configuration (runtime knobs at their defaults). Round-trips:
+    /// `from_canonical(cfg.to_canonical())` equals `cfg` on every
+    /// trace-affecting field.
+    pub fn from_canonical(s: &str) -> Result<Self, HcftError> {
+        let mut parts = s.split(';');
+        if parts.next() != Some("hcft-trace-v1") {
+            return Err(HcftError::Config(format!(
+                "canonical trace config must start with hcft-trace-v1: {s:?}"
+            )));
+        }
+        let mut get = |want: &str| -> Result<u64, HcftError> {
+            let field = parts.next().ok_or_else(|| {
+                HcftError::Config(format!(
+                    "canonical trace config missing field {want}: {s:?}"
+                ))
+            })?;
+            let (k, v) = field.split_once('=').ok_or_else(|| {
+                HcftError::Config(format!("malformed canonical field {field:?} in {s:?}"))
+            })?;
+            if k != want {
+                return Err(HcftError::Config(format!(
+                    "canonical field order: expected {want}, got {k} in {s:?}"
+                )));
+            }
+            v.trim().parse().map_err(|_| {
+                HcftError::Config(format!("canonical field {want}={v:?} is not an integer"))
+            })
+        };
+        let nodes = get("nodes")? as usize;
+        let ppn = get("ppn")? as usize;
+        let enc = get("enc")? != 0;
+        let it = get("it")?;
+        let ck = get("ck")?;
+        let gx = get("gx")? as usize;
+        let gy = get("gy")? as usize;
+        let px = get("px")? as usize;
+        let py = get("py")? as usize;
+        let eg = get("eg")? as usize;
+        let ev = get("ev")? != 0;
+        TracedJobConfig::builder(nodes, ppn)
+            .with_encoders(enc)
+            .iterations(it)
+            .checkpoint_every(ck)
+            .grid(gx, gy)
+            .process_grid(px, py)
+            .encoder_group_nodes(eg)
+            .record_events(ev)
+            .build()
+    }
+
+    /// Stable 128-bit content hash of the trace-affecting configuration:
+    /// FNV-1a over [`Self::to_canonical`] with two independent bases.
+    /// This is the trace-cache key; it is pinned by a test, so it must
+    /// never change for an unchanged config (bump the canonical version
+    /// instead when the traced protocol changes).
+    pub fn content_hash(&self) -> TraceKey {
+        let canonical = self.to_canonical();
+        let hi = fnv1a(0xcbf2_9ce4_8422_2325, canonical.as_bytes());
+        let lo = fnv1a(0x6c62_272e_07bb_0142, canonical.as_bytes());
+        TraceKey(((hi as u128) << 64) | lo as u128)
+    }
+}
+
+/// FNV-1a over `bytes` from an explicit basis (the second basis makes
+/// the 128-bit [`TraceKey`] out of two independent 64-bit streams).
+fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(basis, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Trace-cache key: the stable content hash of a [`TracedJobConfig`]'s
+/// trace-affecting fields (see [`TracedJobConfig::content_hash`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceKey(pub u128);
+
+impl std::fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
     }
 }
 
@@ -303,6 +419,23 @@ pub struct TraceResult {
     /// dropped since the protocol analyses operate on the application
     /// communicator).
     pub app_events: Vec<Vec<hcft_msglog::MsgEvent>>,
+}
+
+impl TraceResult {
+    /// Approximate resident size of this trace — the matrices plus the
+    /// event streams. Drives the trace cache's `service.cache.bytes`
+    /// accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        let cell = std::mem::size_of::<u64>() as u64;
+        let full = (self.full.n() as u64).pow(2) * cell;
+        let app = (self.app.n() as u64).pow(2) * cell;
+        let events: u64 = self
+            .app_events
+            .iter()
+            .map(|s| (s.len() * std::mem::size_of::<hcft_msglog::MsgEvent>()) as u64)
+            .sum();
+        full + app + events
+    }
 }
 
 /// The raw outcome of a traced world run: the layout plus the live
@@ -559,6 +692,187 @@ pub fn evaluate_schemes(
     // The ordered collect keeps scores in paper order.
     let scores = schemes.par_iter().map(|s| evaluator.evaluate(s)).collect();
     EvaluatedSchemes { schemes, scores }
+}
+
+/// A grid of strategy-family configurations for one comparison request:
+/// every entry expands to one [`ClusteringStrategy`] and one scored row.
+/// Construction order is the evaluation (and response) order, so a spec
+/// is deterministic by value, independent of thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchemeFamilySpec {
+    /// §III-A naïve cluster sizes (ranks).
+    pub naive_sizes: Vec<usize>,
+    /// §III-B size-guided cluster sizes (ranks).
+    pub size_guided_sizes: Vec<usize>,
+    /// §III-C distributed stripe sizes (nodes).
+    pub distributed_sizes: Vec<usize>,
+    /// Striped (L1 node-block, L2 group-size-in-ranks) combinations.
+    pub striped: Vec<(usize, usize)>,
+    /// §IV-B hierarchical L1/L2 bound grids.
+    pub hierarchical: Vec<HierarchicalConfig>,
+}
+
+impl SchemeFamilySpec {
+    /// The Table II comparison: the four paper schemes at their classic
+    /// sizes (clamped to the machine) plus one striped entrant where the
+    /// layout divides evenly.
+    pub fn table2(nodes: usize, ppn: usize) -> Self {
+        let nprocs = nodes * ppn;
+        // The paper's §IV-B sizing, clamped so the partitioner stays
+        // valid on machines smaller than one default L1 cluster.
+        let min_l1 = 4.min(nodes).max(1);
+        let hier = HierarchicalConfig {
+            min_nodes_per_l1: min_l1,
+            max_nodes_per_l1: 8.min(nodes).max(min_l1),
+            l2_group_nodes: 4.min(min_l1),
+            ..HierarchicalConfig::default()
+        };
+        let mut spec = SchemeFamilySpec {
+            naive_sizes: vec![32.min(nprocs)],
+            size_guided_sizes: vec![8.min(nprocs)],
+            distributed_sizes: if nodes >= 2 {
+                vec![16.clamp(2, nodes)]
+            } else {
+                Vec::new()
+            },
+            striped: Vec::new(),
+            hierarchical: vec![hier],
+        };
+        if nodes.is_multiple_of(4) && ppn >= 2 {
+            spec.striped.push((4, ppn));
+        }
+        spec
+    }
+
+    /// The full family grid for a `nodes × ppn` machine: cluster-size
+    /// sweeps per flat family, striped L1×L2 combinations and
+    /// hierarchical L1-bound / L2-group grids — every combination valid
+    /// for the layout, in a fixed deterministic order.
+    pub fn for_layout(nodes: usize, ppn: usize) -> Self {
+        let nprocs = nodes * ppn;
+        let mut naive_sizes: Vec<usize> = [ppn, 2 * ppn, 4 * ppn]
+            .into_iter()
+            .filter(|&s| s >= 1 && s <= nprocs)
+            .collect();
+        naive_sizes.dedup();
+        let mut size_guided_sizes: Vec<usize> = [ppn.div_ceil(2), ppn, 2 * ppn]
+            .into_iter()
+            .filter(|&s| s >= 1 && s <= nprocs)
+            .collect();
+        size_guided_sizes.dedup();
+        let distributed_sizes: Vec<usize> = [4usize, 8, 16]
+            .into_iter()
+            .filter(|&s| s >= 2 && s <= nodes)
+            .collect();
+        let mut striped = Vec::new();
+        for l1 in [2usize, 4] {
+            if l1 > nodes || !nodes.is_multiple_of(l1) {
+                continue;
+            }
+            for l2 in [ppn, 2 * ppn] {
+                if l2 >= 2 && l2 <= nprocs && nprocs.is_multiple_of(l2) {
+                    striped.push((l1, l2));
+                }
+            }
+        }
+        striped.dedup();
+        let hierarchical: Vec<HierarchicalConfig> =
+            [(4usize, 8usize, 4usize), (4, 8, 2), (4, 4, 4), (8, 16, 4)]
+                .into_iter()
+                .filter(|&(min, _, l2g)| nodes >= min && min >= l2g)
+                .map(|(min, max, l2g)| HierarchicalConfig {
+                    min_nodes_per_l1: min,
+                    max_nodes_per_l1: max,
+                    l2_group_nodes: l2g,
+                    ..HierarchicalConfig::default()
+                })
+                .collect();
+        SchemeFamilySpec {
+            naive_sizes,
+            size_guided_sizes,
+            distributed_sizes,
+            striped,
+            hierarchical,
+        }
+    }
+
+    /// Expand into `(family, strategy)` pairs in spec order.
+    pub fn strategies(&self) -> Vec<(&'static str, Box<dyn ClusteringStrategy + Send + Sync>)> {
+        let mut out: Vec<(&'static str, Box<dyn ClusteringStrategy + Send + Sync>)> = Vec::new();
+        for &size in &self.naive_sizes {
+            out.push(("naive", Box::new(Naive { size })));
+        }
+        for &size in &self.size_guided_sizes {
+            out.push(("size-guided", Box::new(SizeGuided { size })));
+        }
+        for &size in &self.distributed_sizes {
+            out.push(("distributed", Box::new(Distributed { size })));
+        }
+        for &(l1_nodes, l2_size) in &self.striped {
+            out.push(("striped", Box::new(Striped { l1_nodes, l2_size })));
+        }
+        for cfg in &self.hierarchical {
+            out.push(("hierarchical", Box::new(Hierarchical { cfg: cfg.clone() })));
+        }
+        out
+    }
+
+    /// Total strategy count of the expanded spec.
+    pub fn len(&self) -> usize {
+        self.naive_sizes.len()
+            + self.size_guided_sizes.len()
+            + self.distributed_sizes.len()
+            + self.striped.len()
+            + self.hierarchical.len()
+    }
+
+    /// Is the spec empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One scored row of a family sweep.
+#[derive(Clone, Debug)]
+pub struct FamilyScore {
+    /// Strategy family the row came from (`naive`, `striped`, …).
+    pub family: &'static str,
+    /// The four-dimension score (carries the sized scheme name).
+    pub score: FourDScore,
+}
+
+/// Score every strategy of `spec` on one trace, fanning the evaluation
+/// over rayon with an order-preserving fold: the result order is the
+/// spec's construction order and the rows are byte-identical at any
+/// thread count. An invalid entry (a size the layout cannot host) fails
+/// the whole sweep with the strategy's validation error — specs built
+/// by [`SchemeFamilySpec::for_layout`] are valid by construction.
+pub fn evaluate_family_sweep(
+    trace: &TraceResult,
+    spec: &SchemeFamilySpec,
+) -> Result<Vec<FamilyScore>, HcftError> {
+    let placement = trace.layout.app_placement();
+    let node_matrix = trace.app.aggregate_by_node(&placement);
+    let node_graph = WeightedGraph::from_comm_matrix(&node_matrix);
+    let ctx = StrategyContext {
+        placement: &placement,
+        node_graph: &node_graph,
+    };
+    // Building is cheap and sequential (the hierarchical partitioner is
+    // milliseconds at paper scale); scoring dominates and parallelises.
+    let mut families = Vec::with_capacity(spec.len());
+    let mut schemes = Vec::with_capacity(spec.len());
+    for (family, strategy) in spec.strategies() {
+        families.push(family);
+        schemes.push(strategy.build(&ctx)?);
+    }
+    let evaluator = Evaluator::new(trace.app.clone(), placement);
+    let scores: Vec<FourDScore> = schemes.par_iter().map(|s| evaluator.evaluate(s)).collect();
+    Ok(families
+        .into_iter()
+        .zip(scores)
+        .map(|(family, score)| FamilyScore { family, score })
+        .collect())
 }
 
 #[cfg(test)]

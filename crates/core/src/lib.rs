@@ -29,6 +29,7 @@ pub mod drill;
 pub mod experiment;
 pub mod replay;
 pub mod scenario;
+pub mod trace_cache;
 
 pub use campaign::{
     simulate_campaign, simulate_campaign_reference, simulate_campaign_stats, CampaignConfig,
@@ -37,7 +38,8 @@ pub use campaign::{
 };
 pub use drill::{DrillConfig, LockstepDrill};
 pub use experiment::{
-    run_traced_job, EvaluatedSchemes, TraceResult, TracedJobConfig, TracedJobConfigBuilder,
+    evaluate_family_sweep, run_traced_job, EvaluatedSchemes, FamilyScore, SchemeFamilySpec,
+    TraceKey, TraceResult, TracedJobConfig, TracedJobConfigBuilder,
 };
 pub use hcft_telemetry::{Event, EventKind, HcftError, Registry, Snapshot};
 pub use replay::{

@@ -1,0 +1,41 @@
+//! The always-on evaluation service.
+//!
+//! Everything before this crate answered "which clustering should this
+//! machine + application use?" as a batch run: trace the job, score the
+//! schemes, print Table II, exit. This crate turns that question into a
+//! long-running HTTP service so a scheduler (or a person with `curl`)
+//! can ask it continuously:
+//!
+//! ```text
+//! GET /evaluate?nodes=64&ppn=16&families=table2
+//! ```
+//!
+//! returns the ranked scheme comparison for that machine shape as
+//! deterministic JSON. Three layers make it fast and repeatable:
+//!
+//! * the **trace cache** ([`hcft_core::trace_cache::TraceCache`]):
+//!   tracing the communication matrix dominates a cold request by ~20×;
+//!   results are cached behind `Arc` keyed by the stable
+//!   [`TracedJobConfig::content_hash`](hcft_core::TracedJobConfig::content_hash),
+//!   with single-flight coalescing and deterministic LRU eviction;
+//! * the **family fan-out**
+//!   ([`hcft_core::evaluate_family_sweep`]): each request scores every
+//!   applicable strategy-family configuration concurrently over rayon
+//!   with order-preserving folds, so the response bytes are identical at
+//!   any thread count;
+//! * the **response memo** ([`EvalService`]): a fully-warm request
+//!   (same shape, same family selection) returns the memoized rendered
+//!   response without recomputing the sweep.
+//!
+//! The HTTP layer ([`http`]) is a hand-rolled `std::net` HTTP/1.1
+//! server — the workspace is hermetic (no network crates), and the
+//! protocol surface needed (GET + query string, `Connection: close`) is
+//! tiny. See DESIGN.md §19 for the architecture.
+
+pub mod http;
+pub mod request;
+pub mod service;
+
+pub use http::{serve, Server};
+pub use request::{EvalRequest, FamilySelect};
+pub use service::EvalService;

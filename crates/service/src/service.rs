@@ -1,0 +1,324 @@
+//! The evaluation core: trace cache + response memo + deterministic
+//! ranked-comparison rendering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hcft_core::trace_cache::TraceCache;
+use hcft_core::{evaluate_family_sweep, FamilyScore};
+use hcft_telemetry::{Counter, HcftError, Registry};
+use parking_lot::Mutex;
+
+use crate::request::EvalRequest;
+
+struct MemoEntry {
+    key: String,
+    body: Arc<String>,
+    last_used: u64,
+}
+
+struct MemoInner {
+    entries: Vec<MemoEntry>,
+    tick: u64,
+}
+
+/// The service state shared by every HTTP worker: the traced-matrix
+/// cache plus an LRU memo of fully rendered responses.
+///
+/// Two tiers because they save different work: a trace-cache hit skips
+/// the traced run (~95 % of a cold request) but still recomputes the
+/// strategy sweep; a memo hit returns the stored bytes outright. Both
+/// tiers are deterministic, so a response is byte-identical whether it
+/// came cold, trace-warm or memo-warm — the sweep itself is an
+/// order-preserving rayon fold, identical at any thread count.
+pub struct EvalService {
+    traces: TraceCache,
+    memo: Mutex<MemoInner>,
+    memo_cap: usize,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    memo_hits_telemetry: Arc<Counter>,
+    memo_misses_telemetry: Arc<Counter>,
+}
+
+impl EvalService {
+    /// A service retaining at most `trace_cap` traced matrices and
+    /// `memo_cap` rendered responses (each minimum 1). Telemetry lands
+    /// in the process-global registry under `service.cache.*` (traces)
+    /// and `service.memo.*` (responses).
+    pub fn new(trace_cap: usize, memo_cap: usize) -> Self {
+        let reg = Registry::global();
+        EvalService {
+            traces: TraceCache::new(trace_cap),
+            memo: Mutex::new(MemoInner {
+                entries: Vec::new(),
+                tick: 0,
+            }),
+            memo_cap: memo_cap.max(1),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            memo_hits_telemetry: reg.counter("service.memo.hits"),
+            memo_misses_telemetry: reg.counter("service.memo.misses"),
+        }
+    }
+
+    /// The traced-matrix cache (exposed for the `/cache` route and the
+    /// benchmark's assertions).
+    pub fn trace_cache(&self) -> &TraceCache {
+        &self.traces
+    }
+
+    /// Response-memo counter snapshot `(hits, misses)` for this
+    /// instance.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Answer `req`: the ranked scheme comparison as deterministic JSON.
+    ///
+    /// Memo-warm requests return the stored bytes; otherwise the trace
+    /// comes from the cache (computed at most once per key) and the
+    /// family sweep is recomputed and re-memoized. All three paths
+    /// produce identical bytes for identical requests.
+    pub fn evaluate(&self, req: &EvalRequest) -> Result<Arc<String>, HcftError> {
+        let memo_key = req.memo_key()?;
+        {
+            let mut memo = self.memo.lock();
+            memo.tick += 1;
+            let tick = memo.tick;
+            if let Some(e) = memo.entries.iter_mut().find(|e| e.key == memo_key) {
+                e.last_used = tick;
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                self.memo_hits_telemetry.inc();
+                return Ok(Arc::clone(&e.body));
+            }
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            self.memo_misses_telemetry.inc();
+        }
+
+        let cfg = req.job_config()?;
+        let trace = self.traces.get_or_trace(&cfg);
+        let spec = req.family_spec();
+        if spec.is_empty() {
+            return Err(HcftError::Config(format!(
+                "no strategy family fits a {}x{} layout",
+                req.nodes, req.ppn
+            )));
+        }
+        let scores = evaluate_family_sweep(&trace, &spec)?;
+        let body = Arc::new(render_response(
+            req,
+            &cfg.content_hash().to_string(),
+            &scores,
+        ));
+
+        let mut memo = self.memo.lock();
+        memo.tick += 1;
+        let tick = memo.tick;
+        // A racing identical request may have memoized first; keep the
+        // existing entry (same bytes either way — the render is pure).
+        if let Some(e) = memo.entries.iter_mut().find(|e| e.key == memo_key) {
+            e.last_used = tick;
+            return Ok(Arc::clone(&e.body));
+        }
+        memo.entries.push(MemoEntry {
+            key: memo_key,
+            body: Arc::clone(&body),
+            last_used: tick,
+        });
+        while memo.entries.len() > self.memo_cap {
+            let victim = memo
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("len > cap >= 1");
+            memo.entries.remove(victim);
+        }
+        Ok(body)
+    }
+}
+
+/// The ranking order: safest first. Primary key is the catastrophe
+/// probability (the dimension the paper's hierarchical scheme wins by
+/// orders of magnitude), then logging fraction, restart fraction,
+/// encoding time, and finally the scheme name so ties are total.
+fn rank_order(a: &FamilyScore, b: &FamilyScore) -> std::cmp::Ordering {
+    a.score
+        .p_catastrophic
+        .total_cmp(&b.score.p_catastrophic)
+        .then_with(|| {
+            a.score
+                .logging_fraction
+                .total_cmp(&b.score.logging_fraction)
+        })
+        .then_with(|| {
+            a.score
+                .restart_fraction
+                .total_cmp(&b.score.restart_fraction)
+        })
+        .then_with(|| a.score.encode_s_per_gb.total_cmp(&b.score.encode_s_per_gb))
+        .then_with(|| a.score.name.cmp(&b.score.name))
+}
+
+/// Render the ranked comparison as JSON. Every value is either an
+/// integer, a shortest-round-trip float (deterministic in Rust's
+/// `Display`), or an escaped string — no map iteration, no timestamps —
+/// so identical inputs render identical bytes on every thread count,
+/// cache path and process.
+fn render_response(req: &EvalRequest, trace_key: &str, scores: &[FamilyScore]) -> String {
+    let mut ranked: Vec<&FamilyScore> = scores.iter().collect();
+    ranked.sort_by(|a, b| rank_order(a, b));
+
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"request\": {{\"nodes\": {}, \"ppn\": {}, \"families\": {}, \"trace_key\": {}}},\n",
+        req.nodes,
+        req.ppn,
+        json_string(req.families.as_str()),
+        json_string(trace_key)
+    ));
+    out.push_str(&format!("  \"schemes\": {},\n", scores.len()));
+    out.push_str("  \"ranking\": [");
+    for (i, fs) in ranked.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rank\": {}, \"family\": {}, \"name\": {}, \
+             \"logging_fraction\": {}, \"restart_fraction\": {}, \
+             \"encode_s_per_gb\": {}, \"p_catastrophic\": {}}}",
+            i + 1,
+            json_string(fs.family),
+            json_string(&fs.score.name),
+            json_f64(fs.score.logging_fraction),
+            json_f64(fs.score.restart_fraction),
+            json_f64(fs.score.encode_s_per_gb),
+            json_f64(fs.score.p_catastrophic)
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"best\": {}\n",
+        json_string(&ranked[0].score.name)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Inf; the scores never produce them, but map to null
+/// rather than emitting invalid JSON if a model ever does.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(q: &str) -> EvalRequest {
+        EvalRequest::from_query(q).unwrap()
+    }
+
+    #[test]
+    fn responses_are_memoized_and_byte_identical() {
+        let svc = EvalService::new(4, 4);
+        let r = req("nodes=2&ppn=2");
+        let cold = svc.evaluate(&r).unwrap();
+        let warm = svc.evaluate(&r).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm), "memo hit returns stored bytes");
+        assert_eq!(svc.memo_stats(), (1, 1));
+        // The body is valid-looking ranked JSON.
+        assert!(cold.contains("\"ranking\": ["));
+        assert!(cold.contains("\"rank\": 1"));
+        assert!(cold.contains("\"best\": "));
+    }
+
+    #[test]
+    fn memo_and_trace_tiers_compose() {
+        let svc = EvalService::new(4, 4);
+        let t2 = svc.evaluate(&req("nodes=2&ppn=2")).unwrap();
+        let (_, trace_misses_0, _) = svc.trace_cache().stats();
+        // Different family selection: memo miss, but the trace is warm.
+        let full = svc.evaluate(&req("nodes=2&ppn=2&families=full")).unwrap();
+        let (trace_hits, trace_misses_1, _) = svc.trace_cache().stats();
+        assert_eq!(trace_misses_1, trace_misses_0, "no second traced run");
+        assert_eq!(trace_hits, 1, "family switch reuses the trace");
+        assert_ne!(&*t2, &*full, "different sweeps, different bodies");
+        assert_eq!(svc.memo_stats(), (0, 2));
+    }
+
+    #[test]
+    fn memo_eviction_is_lru() {
+        let svc = EvalService::new(4, 1);
+        let a = req("nodes=2&ppn=2");
+        let b = req("nodes=2&ppn=2&families=full");
+        svc.evaluate(&a).unwrap();
+        svc.evaluate(&b).unwrap(); // evicts a's body
+        svc.evaluate(&a).unwrap(); // memo miss, trace hit
+        assert_eq!(svc.memo_stats(), (0, 3));
+    }
+
+    #[test]
+    fn ranking_is_total_and_safest_first() {
+        let svc = EvalService::new(4, 4);
+        let body = svc.evaluate(&req("nodes=4&ppn=2&families=full")).unwrap();
+        // Ranks are 1..=N in order of appearance.
+        let mut last = 0usize;
+        for part in body.split("\"rank\": ").skip(1) {
+            let n: usize = part
+                .split(',')
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .expect("rank is an integer");
+            assert_eq!(n, last + 1);
+            last = n;
+        }
+        assert!(last >= 4, "full sweep ranks several schemes, got {last}");
+        // p_catastrophic is non-decreasing down the ranking.
+        let ps: Vec<f64> = body
+            .split("\"p_catastrophic\": ")
+            .skip(1)
+            .map(|s| {
+                s.split('}')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .expect("p_catastrophic is a number")
+            })
+            .collect();
+        assert!(
+            ps.windows(2).all(|w| w[0] <= w[1]),
+            "ranking must be safest-first: {ps:?}"
+        );
+    }
+}

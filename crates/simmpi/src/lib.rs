@@ -36,5 +36,5 @@ pub use comm::Comm;
 pub use datatype::Datum;
 pub use nonblocking::{wait_all, RecvRequest};
 pub use replay::{ReplayFeed, ReplayPlan, ReplayWorldResult};
-pub use runtime::{maybe_yield, Engine, World, WorldConfig};
+pub use runtime::{maybe_yield, Engine, ResolvedWorldConfig, World, WorldConfig};
 pub use trace::{MessageEvent, TraceRecorder};

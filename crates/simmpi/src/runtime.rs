@@ -56,18 +56,20 @@ const DEFAULT_STACK_SIZE: usize = 512 * 1024;
 const MIN_STACK_KB: usize = 64;
 const MAX_STACK_KB: usize = 1 << 20;
 
-/// Yield slices a receiver burns before parking on the shard condvar
-/// (`HCFT_SIMMPI_YIELD_SPINS` env override; 0 disables the yield phase).
-/// Thread engine only; task receivers switch to another rank instead.
-/// (Distinct from `HCFT_SIMMPI_YIELD_BUDGET`, the task-engine
-/// preemption budget.)
-fn yield_spins() -> u32 {
-    static BUDGET: OnceLock<u32> = OnceLock::new();
-    *BUDGET.get_or_init(|| {
+/// Default yield slices a receiver burns before parking on the shard
+/// condvar when neither `WorldConfig::yield_spins` nor
+/// `HCFT_SIMMPI_YIELD_SPINS` says otherwise.
+const DEFAULT_YIELD_SPINS: u32 = 4;
+
+/// `HCFT_SIMMPI_YIELD_SPINS` (cached): yield slices before a thread-engine
+/// receiver parks; 0 disables the yield phase. (Distinct from
+/// `HCFT_SIMMPI_YIELD_BUDGET`, the task-engine preemption budget.)
+fn env_yield_spins() -> Option<u32> {
+    static SPINS: OnceLock<Option<u32>> = OnceLock::new();
+    *SPINS.get_or_init(|| {
         std::env::var("HCFT_SIMMPI_YIELD_SPINS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(4)
     })
 }
 
@@ -452,6 +454,9 @@ pub(crate) struct Shared {
     pub(crate) trace: Arc<TraceRecorder>,
     pub(crate) phases: Vec<AtomicU64>,
     pub(crate) recv_timeout: Duration,
+    /// Resolved yield-spin budget for thread-engine receivers (explicit
+    /// [`WorldConfig::yield_spins`] wins over the cached env lookup).
+    pub(crate) yield_spins: u32,
     pub(crate) metrics: MailboxMetrics,
     pub(crate) pool: BufferPool,
     /// The task scheduler, when this world runs on the task engine. Set
@@ -480,7 +485,7 @@ impl Shared {
         // times lets it run and deliver, avoiding a futex park + wake
         // round trip per halo message. Only after the yield budget is
         // spent do we register as a waiter and park on the shard condvar.
-        let yield_budget = yield_spins();
+        let yield_budget = self.yield_spins;
         let shard = self.mailboxes[rank].shard(&key);
         let deadline = Instant::now() + self.recv_timeout;
         let mut yields = 0u32;
@@ -635,6 +640,10 @@ pub struct WorldConfig {
     /// auto (`HCFT_SIMMPI_YIELD_BUDGET` env override, default 0 = never
     /// preempt).
     pub yield_budget: Option<u32>,
+    /// Yield slices a thread-engine receiver burns before parking on the
+    /// shard condvar; 0 disables the yield phase. `None` = auto
+    /// (`HCFT_SIMMPI_YIELD_SPINS` env override, default 4).
+    pub yield_spins: Option<u32>,
 }
 
 impl Default for WorldConfig {
@@ -648,8 +657,42 @@ impl Default for WorldConfig {
             engine: Engine::Auto,
             steal: None,
             yield_budget: None,
+            yield_spins: None,
         }
     }
+}
+
+/// The concrete runtime settings a world of `n` ranks will run with,
+/// after the documented precedence is applied to every knob:
+///
+/// 1. an explicit [`WorldConfig`] value always wins;
+/// 2. otherwise the `HCFT_SIMMPI_*` environment override applies —
+///    **snapshotted once per process** (`OnceLock`-cached) at first use,
+///    so a long-running service sees one consistent environment for its
+///    whole lifetime rather than whatever the variable mutates to later;
+/// 3. otherwise the built-in default.
+///
+/// Long-running processes that need per-request settings must therefore
+/// pass them explicitly (as [`WorldConfig`] / `TracedJobConfig` fields,
+/// which always win) instead of mutating the environment — the cached
+/// env lookups silently pin the first-seen values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedWorldConfig {
+    /// Per-rank stack size in bytes.
+    pub stack_size: usize,
+    /// Mailbox shards per rank (capped at the world size).
+    pub mailbox_shards: usize,
+    /// Task-engine worker-pool size (capped at the rank count).
+    pub workers: usize,
+    /// The engine that will actually carry the rank bodies ([`Engine::Auto`]
+    /// and unsupported-target requests are resolved away).
+    pub engine: Engine,
+    /// Work stealing between task-engine workers.
+    pub steal: bool,
+    /// Task-engine cooperative preemption budget (0 = never preempt).
+    pub yield_budget: u32,
+    /// Thread-engine yield slices before a receiver parks.
+    pub yield_spins: u32,
 }
 
 impl WorldConfig {
@@ -659,6 +702,24 @@ impl WorldConfig {
     /// invalid configuration gracefully.
     pub fn validate(&self) -> Result<(), HcftError> {
         resolve_stack_size(self).map(|_| ())
+    }
+
+    /// Resolve every knob to the concrete value a world of `n` ranks
+    /// would run with. This is the single precedence point the runtime
+    /// itself uses (see [`ResolvedWorldConfig`] for the rules), exposed
+    /// so callers — and the env-precedence regression tests — can
+    /// observe the outcome without running a world.
+    pub fn resolve(&self, n: usize) -> Result<ResolvedWorldConfig, HcftError> {
+        let n = n.max(1);
+        Ok(ResolvedWorldConfig {
+            stack_size: resolve_stack_size(self)?,
+            mailbox_shards: resolve_shards(self, n),
+            workers: resolve_workers(self, n),
+            engine: resolve_engine(self),
+            steal: resolve_steal(self),
+            yield_budget: resolve_yield_budget(self),
+            yield_spins: resolve_yield_spins(self),
+        })
     }
 }
 
@@ -728,6 +789,14 @@ fn resolve_steal(cfg: &WorldConfig) -> bool {
 /// override, then 0 (never preempt).
 fn resolve_yield_budget(cfg: &WorldConfig) -> u32 {
     cfg.yield_budget.or_else(env_yield_budget).unwrap_or(0)
+}
+
+/// Thread-engine yield spins for this run: explicit config wins, then
+/// the env override, then [`DEFAULT_YIELD_SPINS`].
+fn resolve_yield_spins(cfg: &WorldConfig) -> u32 {
+    cfg.yield_spins
+        .or_else(env_yield_spins)
+        .unwrap_or(DEFAULT_YIELD_SPINS)
 }
 
 /// Cooperative preemption hook for long-computing rank bodies.
@@ -841,31 +910,33 @@ impl World {
         F: Fn(&mut Comm) -> T + Send + Sync + 'static,
     {
         assert!(n > 0, "world needs at least one rank");
-        let shards = resolve_shards(&cfg, n);
-        let engine = resolve_engine(&cfg);
-        let stack_size = match resolve_stack_size(&cfg) {
-            Ok(bytes) => bytes,
+        let resolved = match cfg.resolve(n) {
+            Ok(r) => r,
             Err(e) => panic!("{e}"),
         };
         let reg = Registry::global();
         reg.counter("simmpi.worlds").inc();
-        reg.gauge("simmpi.mailbox.shards").set(shards as f64);
+        reg.gauge("simmpi.mailbox.shards")
+            .set(resolved.mailbox_shards as f64);
         let trace = Arc::new(TraceRecorder::new(n, cfg.trace_events));
         let shared = Arc::new(Shared {
             n,
-            mailboxes: (0..n).map(|_| Mailbox::new(shards)).collect(),
+            mailboxes: (0..n)
+                .map(|_| Mailbox::new(resolved.mailbox_shards))
+                .collect(),
             trace: Arc::clone(&trace),
             phases: (0..n).map(|_| AtomicU64::new(0)).collect(),
             recv_timeout: cfg.recv_timeout,
+            yield_spins: resolved.yield_spins,
             metrics: MailboxMetrics::from_registry(reg),
             pool: BufferPool::new(reg),
             sched: OnceLock::new(),
             replay,
         });
         let f = Arc::new(f);
-        let outputs = match engine {
-            Engine::Tasks => Self::run_tasks(n, &cfg, stack_size, &shared, f),
-            _ => Self::run_threads(n, stack_size, &shared, f),
+        let outputs = match resolved.engine {
+            Engine::Tasks => Self::run_tasks(n, &cfg, &resolved, &shared, f),
+            _ => Self::run_threads(n, resolved.stack_size, &shared, f),
         };
         let mut outs = Vec::with_capacity(n);
         let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
@@ -929,7 +1000,7 @@ impl World {
     fn run_tasks<T, F>(
         n: usize,
         cfg: &WorldConfig,
-        stack_size: usize,
+        resolved: &ResolvedWorldConfig,
         shared: &Arc<Shared>,
         f: Arc<F>,
     ) -> Vec<std::thread::Result<T>>
@@ -937,9 +1008,10 @@ impl World {
         T: Send + 'static,
         F: Fn(&mut Comm) -> T + Send + Sync + 'static,
     {
-        let workers = resolve_workers(cfg, n);
-        let steal = resolve_steal(cfg);
-        let yield_budget = resolve_yield_budget(cfg);
+        let workers = resolved.workers;
+        let steal = resolved.steal;
+        let yield_budget = resolved.yield_budget;
+        let stack_size = resolved.stack_size;
         let reg = Registry::global();
         reg.gauge("simmpi.sched.workers").set(workers as f64);
         reg.gauge("simmpi.sched.steal").set(u64::from(steal) as f64);

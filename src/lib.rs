@@ -19,6 +19,7 @@
 //! | [`reliability`] | failure-event distributions and the catastrophic-failure probability model of \[3\] |
 //! | [`telemetry`] | zero-dependency observability: counters, histograms, failure/recovery event journal, JSON export, [`HcftError`](telemetry::HcftError) |
 //! | [`core`] | the wired-together framework: §V traced experiment and the end-to-end failure drill |
+//! | [`service`] | always-on HTTP evaluation service: traced-matrix cache + concurrent strategy-family fan-out (`repro serve`) |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use hcft_graph as graph;
 pub use hcft_msglog as msglog;
 pub use hcft_partition as partition;
 pub use hcft_reliability as reliability;
+pub use hcft_service as service;
 pub use hcft_simmpi as simmpi;
 pub use hcft_simtime as simtime;
 pub use hcft_telemetry as telemetry;
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use hcft_msglog::{check_replay, HybridProtocol, ReplayReport, SenderLog};
     pub use hcft_partition::{MultilevelConfig, MultilevelPartitioner, SizeBounds};
     pub use hcft_reliability::{EventDistribution, FailureArrivals, ReliabilityModel};
+    pub use hcft_service::{EvalRequest, EvalService, FamilySelect};
     pub use hcft_simmpi::{Comm, World, WorldConfig};
     pub use hcft_telemetry::{EventKind, HcftError, Registry};
     pub use hcft_topology::{JobLayout, MachineSpec, NetworkTopology, NodeId, Placement, Rank};
